@@ -1,0 +1,94 @@
+//! Front-end service-time micro-benches — the per-request work compared in
+//! Figures 8 and 9: HyRec's orchestration vs CRec's server-side
+//! recommendation vs the online-ideal full scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyrec_core::{recommend, Cosine, UserId};
+use hyrec_server::OnlineIdeal;
+use hyrec_sim::load::build_population;
+
+fn bench_frontends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+    for ps in [100usize, 300] {
+        let population = build_population(1_000, ps, 10, 42);
+        // Warm the fragment cache.
+        for &user in population.users.iter().take(64) {
+            let job = population.server.build_job(user);
+            let _ = population.encoder.encode(&job);
+        }
+
+        group.bench_with_input(BenchmarkId::new("hyrec-job-build", ps), &ps, |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let user = population.users[i % population.users.len()];
+                i += 1;
+                std::hint::black_box(population.server.build_job(user))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hyrec-job-build+encode", ps),
+            &ps,
+            |bench, _| {
+                let mut i = 0usize;
+                bench.iter(|| {
+                    let user = population.users[i % population.users.len()];
+                    i += 1;
+                    let job = population.server.build_job(user);
+                    std::hint::black_box(population.encoder.encode(&job))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("crec-recommend", ps),
+            &ps,
+            |bench, _| {
+                let mut i = 0usize;
+                bench.iter(|| {
+                    let user = population.users[i % population.users.len()];
+                    i += 1;
+                    let job = population.server.build_job(user);
+                    std::hint::black_box(recommend::most_popular(
+                        &job.profile,
+                        job.candidates.profiles(),
+                        job.r,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("online-ideal-recommend", ps),
+            &ps,
+            |bench, _| {
+                let ideal = OnlineIdeal::new(population.server.profiles(), Cosine, 10);
+                let mut i = 0usize;
+                bench.iter(|| {
+                    let user = population.users[i % population.users.len()];
+                    i += 1;
+                    std::hint::black_box(ideal.recommend(user, 10))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler");
+    group.sample_size(30);
+    for k in [10usize, 20] {
+        let population = build_population(2_000, 100, k, 7);
+        group.bench_with_input(BenchmarkId::new("candidate-set", k), &k, |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let user = population.users[i % population.users.len()];
+                i += 1;
+                std::hint::black_box(population.server.build_job(UserId(user.0)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontends, bench_sampler);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Widget-kernel micro-benches: the computations HyRec offloads to
+//! browsers (Figures 12–13's primitive costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyrec_client::Widget;
+use hyrec_core::{knn, recommend, Cosine, Jaccard, Overlap, Profile, Similarity};
+use hyrec_sim::device::synthetic_job;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(30);
+    for ps in [10usize, 100, 500] {
+        let a = Profile::from_liked((0..ps as u32).map(|i| i * 3).collect::<Vec<_>>());
+        let b = Profile::from_liked((0..ps as u32).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::new("cosine", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(Cosine.score(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("jaccard", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(Jaccard.score(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("overlap", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(Overlap.score(&a, &b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("widget-kernel");
+    group.sample_size(20);
+    // The paper's worst-case: |S_u| = 2k + k^2 candidates.
+    for ps in [10usize, 100, 500] {
+        let job = synthetic_job(ps, 10, hyrec_core::candidate_set_bound(10));
+        group.bench_with_input(BenchmarkId::new("algorithm1-knn", ps), &ps, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(knn::select(
+                    &job.profile,
+                    job.candidates.pairs(),
+                    job.k,
+                    &Cosine,
+                ))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2-recommend", ps),
+            &ps,
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(recommend::most_popular(
+                        &job.profile,
+                        job.candidates.profiles(),
+                        job.r,
+                    ))
+                });
+            },
+        );
+        let widget = Widget::new();
+        group.bench_with_input(BenchmarkId::new("full-widget-run", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(widget.run_job(&job)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_algorithms);
+criterion_main!(benches);

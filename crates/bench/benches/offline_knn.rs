@@ -1,0 +1,38 @@
+//! Offline back-end micro-benches — the Figure 7 comparison at fixed small
+//! scale, one measurement per architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_server::offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline-knn");
+    group.sample_size(10);
+    let profiles = TraceGenerator::new(DatasetSpec::ML1.scaled(0.2), 3)
+        .generate()
+        .binarize()
+        .final_profiles();
+    let n = profiles.len();
+    let k = 10;
+
+    group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |bench, _| {
+        let backend = ExhaustiveBackend::default();
+        bench.iter(|| std::hint::black_box(backend.compute(&profiles, k)));
+    });
+    group.bench_with_input(BenchmarkId::new("mahout-single", n), &n, |bench, _| {
+        let backend = MahoutLikeBackend::single();
+        bench.iter(|| std::hint::black_box(backend.compute(&profiles, k)));
+    });
+    group.bench_with_input(BenchmarkId::new("clus-mahout", n), &n, |bench, _| {
+        let backend = MahoutLikeBackend::cluster();
+        bench.iter(|| std::hint::black_box(backend.compute(&profiles, k)));
+    });
+    group.bench_with_input(BenchmarkId::new("crec-sampling", n), &n, |bench, _| {
+        let backend = CRecBackend::default();
+        bench.iter(|| std::hint::black_box(backend.compute(&profiles, k)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

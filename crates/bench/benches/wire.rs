@@ -1,0 +1,69 @@
+//! Wire-substrate micro-benches: JSON codec and DEFLATE/gzip throughput
+//! (the per-message costs behind Figures 8 and 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyrec_sim::device::synthetic_job;
+use hyrec_wire::deflate::lz77::Effort;
+use hyrec_wire::json::JsonValue;
+use hyrec_wire::{gzip, PersonalizationJob};
+
+fn job_bytes(ps: usize) -> Vec<u8> {
+    synthetic_job(ps, 10, hyrec_core::candidate_set_bound(10))
+        .to_json()
+        .to_bytes()
+}
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json");
+    group.sample_size(20);
+    for ps in [10usize, 100, 300] {
+        let job = synthetic_job(ps, 10, hyrec_core::candidate_set_bound(10));
+        let raw = job_bytes(ps);
+        let text = String::from_utf8(raw.clone()).unwrap();
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::new("serialize", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(job.to_json().to_bytes()));
+        });
+        group.bench_with_input(BenchmarkId::new("parse", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(JsonValue::parse(&text).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gzip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gzip");
+    group.sample_size(20);
+    for ps in [100usize, 300] {
+        let raw = job_bytes(ps);
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress-fast", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(gzip::compress_with(&raw, Effort::FAST)));
+        });
+        group.bench_with_input(BenchmarkId::new("compress-default", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(gzip::compress_with(&raw, Effort::DEFAULT)));
+        });
+        let packed = gzip::compress(&raw);
+        group.bench_with_input(BenchmarkId::new("decompress", ps), &ps, |bench, _| {
+            bench.iter(|| std::hint::black_box(gzip::decompress(&packed).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_messages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("messages");
+    group.sample_size(20);
+    let job = synthetic_job(100, 10, hyrec_core::candidate_set_bound(10));
+    let encoded = job.encode();
+    group.bench_function("job-encode-uncached", |bench| {
+        bench.iter(|| std::hint::black_box(job.encode()));
+    });
+    group.bench_function("job-decode", |bench| {
+        bench.iter(|| std::hint::black_box(PersonalizationJob::decode(&encoded).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_json, bench_gzip, bench_messages);
+criterion_main!(benches);

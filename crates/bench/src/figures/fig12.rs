@@ -1,0 +1,39 @@
+//! Figure 12: widget task time vs client CPU load.
+//!
+//! The widget kernel time is *measured* on this machine (ps=100, k=10,
+//! worst-case candidate set), then scaled through the device model
+//! (laptop = this machine, smartphone ≈ 6.5×) and the fair-share
+//! contention model. Paper: <10 ms laptop / <60 ms smartphone at 50% load,
+//! and only slow growth with load.
+
+use crate::{banner, header, RunOptions};
+use hyrec_sim::device::{
+    contended_time, measure_widget_kernel, synthetic_job, Device, FairShareCpu,
+};
+
+/// Runs the Figure 12 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 12",
+        "Widget task time vs CPU load, ps=100 (paper: <10ms laptop / <60ms smartphone at 50%)",
+    );
+    let job = synthetic_job(100, 10, hyrec_core::candidate_set_bound(10));
+    let iterations = if options.full { 200 } else { 50 };
+    let kernel = measure_widget_kernel(&job, iterations);
+    println!(
+        "(measured kernel on this machine: {:.2}ms per job)",
+        kernel.as_secs_f64() * 1e3
+    );
+    header(&["cpu-load(%)", "laptop(ms)", "smartphone(ms)"]);
+    for load_pct in (0..=100).step_by(10) {
+        let cpu = FairShareCpu::new(f64::from(load_pct) / 100.0);
+        let laptop = contended_time(kernel, Device::LAPTOP, cpu);
+        let phone = contended_time(kernel, Device::SMARTPHONE, cpu);
+        println!(
+            "{load_pct}\t{:.2}\t{:.2}",
+            laptop.as_secs_f64() * 1e3,
+            phone.as_secs_f64() * 1e3
+        );
+    }
+    println!("# paper shape: ≤2x degradation from idle to fully loaded; smartphone ~6-7x laptop");
+}

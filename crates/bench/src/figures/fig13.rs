@@ -1,0 +1,53 @@
+//! Figure 13: widget task time vs profile size.
+//!
+//! Real kernel measurements across profile sizes and k, scaled to the two
+//! device classes. Paper: ≤1.5× growth on the laptop and ≤7.2× on the
+//! smartphone from ps=10 to ps=500 — the widget scales gracefully.
+
+use crate::{banner, header, RunOptions};
+use hyrec_core::candidate_set_bound;
+use hyrec_sim::device::{contended_time, measure_widget_kernel, synthetic_job, Device, FairShareCpu};
+
+/// Runs the Figure 13 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 13",
+        "Widget task time vs profile size (paper: modest growth; smartphone slower but parallel)",
+    );
+    let iterations = if options.full { 100 } else { 30 };
+    let idle = FairShareCpu::new(0.0);
+    header(&[
+        "profile-size",
+        "laptop-k10(ms)",
+        "laptop-k20(ms)",
+        "smartphone-k10(ms)",
+        "smartphone-k20(ms)",
+    ]);
+    let sizes = [10usize, 50, 100, 200, 300, 400, 500];
+    let mut first_k10 = None;
+    let mut last_k10 = 0.0f64;
+    for &ps in &sizes {
+        let mut row = Vec::new();
+        for k in [10usize, 20] {
+            let job = synthetic_job(ps, k, candidate_set_bound(k));
+            let kernel = measure_widget_kernel(&job, iterations);
+            let laptop = contended_time(kernel, Device::LAPTOP, idle).as_secs_f64() * 1e3;
+            let phone = contended_time(kernel, Device::SMARTPHONE, idle).as_secs_f64() * 1e3;
+            row.push((laptop, phone));
+        }
+        println!(
+            "{ps}\t{:.3}\t{:.3}\t{:.2}\t{:.2}",
+            row[0].0, row[1].0, row[0].1, row[1].1
+        );
+        if first_k10.is_none() {
+            first_k10 = Some(row[0].0);
+        }
+        last_k10 = row[0].0;
+    }
+    if let Some(first) = first_k10 {
+        println!(
+            "# laptop k=10 growth ps=10 -> ps=500: {:.1}x (paper: ~1.5x laptop, ~7.2x smartphone)",
+            last_k10 / first.max(1e-9)
+        );
+    }
+}

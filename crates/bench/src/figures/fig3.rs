@@ -1,0 +1,86 @@
+//! Figure 3: average view similarity over time on ML1.
+//!
+//! Series: HyRec k=10, HyRec k=10 IR=7d, HyRec k=20, Offline-Ideal k=10
+//! (weekly recompute), plus the ideal upper bound at each probe.
+
+use crate::{banner, header, RunOptions};
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_sim::replay::{self, ReplayConfig};
+
+/// Runs the Figure 3 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 3",
+        "Average view similarity vs time, ML1 (paper: HyRec within 10-20% of ideal; offline staircase)",
+    );
+    let scale = options.effective_scale(1.0);
+    let spec = DatasetSpec::ML1.scaled(scale);
+    println!("({spec})");
+    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let probe = 5 * 86_400; // every 5 simulated days
+    let week = 7 * 86_400;
+
+    let base = ReplayConfig {
+        probe_interval: probe,
+        compute_ideal: true,
+        seed: options.seed,
+        ..ReplayConfig::default()
+    };
+    let k10 = replay::replay_hyrec(&trace, &ReplayConfig { k: 10, ..base.clone() });
+    let k10_ir7 = replay::replay_hyrec(
+        &trace,
+        &ReplayConfig { k: 10, inter_request_bound: Some(week), compute_ideal: false, ..base.clone() },
+    );
+    let k20 = replay::replay_hyrec(
+        &trace,
+        &ReplayConfig { k: 20, compute_ideal: false, ..base.clone() },
+    );
+    let offline = replay::replay_offline_ideal(&trace, 10, week, probe);
+
+    header(&["day", "hyrec-k10", "hyrec-k10-ir7", "hyrec-k20", "offline-ideal-k10", "ideal-k10"]);
+    let rows = k10.probes.len();
+    for i in 0..rows {
+        let day = k10.probes[i].time.days();
+        let col = |probes: &[replay::ProbePoint]| {
+            probes.get(i).map_or(String::from("-"), |p| format!("{:.4}", p.view_similarity))
+        };
+        let ideal = k10.probes[i]
+            .ideal_view_similarity
+            .map_or(String::from("-"), |v| format!("{v:.4}"));
+        println!(
+            "{day:.0}\t{:.4}\t{}\t{}\t{}\t{}",
+            k10.probes[i].view_similarity,
+            col(&k10_ir7.probes),
+            col(&k20.probes),
+            col(&offline),
+            ideal
+        );
+    }
+
+    let last = k10.probes.last().expect("probes");
+    let ideal = last.ideal_view_similarity.unwrap_or(0.0).max(1e-9);
+    let pct = |v: f64, bound: f64| 100.0 * (1.0 - v / bound);
+    // k=20's absolute mean is over 20 neighbours, so compare it against the
+    // ideal top-20 bound, not top-10 (mean similarity decays with rank).
+    let profiles: std::collections::HashMap<_, _> =
+        trace.final_profiles().into_iter().collect();
+    let ideal20 = hyrec_sim::metrics::ideal_view_similarity(&profiles, 20).max(1e-9);
+    println!(
+        "# final gap to own-k ideal: k10 {:.0}% | k10+IR7 {:.0}% | k20 {:.0}% (paper: ~20% / ~10% / k20 converges faster)",
+        pct(last.view_similarity, ideal),
+        pct(k10_ir7.probes.last().map_or(0.0, |p| p.view_similarity), ideal),
+        pct(k20.probes.last().map_or(0.0, |p| p.view_similarity), ideal20),
+    );
+    // Early-convergence check: the paper's k=20 claim is about speed.
+    let early = k10.probes.len() / 4;
+    if let (Some(a), Some(b)) = (k10.probes.get(early), k20.probes.get(early)) {
+        let ratio10 = a.view_similarity / ideal;
+        let ratio20 = b.view_similarity / ideal20;
+        println!(
+            "# early convergence (day {:.0}): k10 at {:.0}% of its bound, k20 at {:.0}% (paper: k20 faster)",
+            a.time.days(),
+            ratio10 * 100.0,
+            ratio20 * 100.0
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 4: per-user KNN quality vs activity.
+//!
+//! Plots each user's achieved view similarity as a percentage of their
+//! ideal, against their number of KNN iterations (which tracks profile
+//! size). Paper: strong positive correlation, "the vast majority of users
+//! have view-similarity ratios above 70%".
+
+use crate::{banner, header, RunOptions};
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_sim::replay::{self, ReplayConfig};
+
+/// Runs the Figure 4 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 4",
+        "Per-user % of ideal view similarity vs iterations, ML1 k=10 (paper: most users above 70%)",
+    );
+    let scale = options.effective_scale(1.0);
+    let spec = DatasetSpec::ML1.scaled(scale);
+    println!("({spec})");
+    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let result = replay::replay_hyrec(
+        &trace,
+        &ReplayConfig {
+            k: 10,
+            probe_interval: 30 * 86_400,
+            compute_ideal: true,
+            seed: options.seed,
+            ..ReplayConfig::default()
+        },
+    );
+
+    let points = result.figure4_points();
+    // Bucket by iteration count for a readable curve.
+    header(&["iterations-bucket", "users", "mean-%-of-ideal", "min-%", "max-%"]);
+    let buckets = [(1u64, 25u64), (25, 50), (50, 100), (100, 200), (200, 400), (400, 800)];
+    for (lo, hi) in buckets {
+        let in_bucket: Vec<f64> = points
+            .iter()
+            .filter(|(i, _)| *i >= lo && *i < hi)
+            .map(|(_, r)| *r * 100.0)
+            .collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        let mean = in_bucket.iter().sum::<f64>() / in_bucket.len() as f64;
+        let min = in_bucket.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = in_bucket.iter().cloned().fold(0.0, f64::max);
+        println!("{lo}-{hi}\t{}\t{mean:.0}\t{min:.0}\t{max:.0}", in_bucket.len());
+    }
+    let above70 = points.iter().filter(|(_, r)| *r >= 0.7).count();
+    println!(
+        "# {}/{} users ({:.0}%) above 70% of ideal (paper: 'vast majority')",
+        above70,
+        points.len(),
+        100.0 * above70 as f64 / points.len().max(1) as f64
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 6: recommendation quality vs number of recommendations.
+//!
+//! Paper ordering: Online-Ideal > HyRec > Offline p=1h > Offline p=24h,
+//! with HyRec up to 12% above offline p=24h and ~13% below Online-Ideal.
+
+use crate::{banner, header, RunOptions};
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_sim::quality;
+
+/// Runs the Figure 6 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 6",
+        "Recommendation quality vs #recommendations, ML1 k=10 (paper: ideal > HyRec > p=1h > p=24h)",
+    );
+    let scale = options.effective_scale(0.5);
+    let spec = DatasetSpec::ML1.scaled(scale);
+    println!("({spec})");
+    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let (train, test) = trace.split_chronological(0.8);
+    let k = 10;
+    let max_n = 10;
+
+    let hyrec = quality::quality_hyrec(&train, &test, k, max_n, options.seed);
+    let offline_24h = quality::quality_offline(&train, &test, k, max_n, 24 * 3600);
+    let offline_1h = quality::quality_offline(&train, &test, k, max_n, 3600);
+    let online = quality::quality_online_ideal(&train, &test, k, max_n);
+    let popularity = quality::quality_global_popularity(&train, &test, max_n);
+
+    header(&["n", "hyrec", "offline-p24h", "offline-p1h", "online-ideal", "global-pop"]);
+    for n in 1..=max_n {
+        println!(
+            "{n}\t{}\t{}\t{}\t{}\t{}",
+            hyrec.hits[n - 1],
+            offline_24h.hits[n - 1],
+            offline_1h.hits[n - 1],
+            online.hits[n - 1],
+            popularity.hits[n - 1],
+        );
+    }
+    println!("# positives evaluated: {}", hyrec.positives);
+    let at10 = |c: &quality::QualityCurve| c.hits[max_n - 1] as f64;
+    if at10(&offline_24h) > 0.0 && at10(&online) > 0.0 {
+        println!(
+            "# HyRec vs offline-24h: {:+.0}% (paper: up to +12%) | vs online ideal: {:+.0}% (paper: ~-13%)",
+            100.0 * (at10(&hyrec) / at10(&offline_24h) - 1.0),
+            100.0 * (at10(&hyrec) / at10(&online) - 1.0),
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 7: wall-clock time of offline KNN selection per back-end.
+//!
+//! Paper: Offline-CRec fastest everywhere (except ClusMahout on ML1), gap
+//! growing with dataset size; Exhaustive worst at scale.
+
+use crate::{banner, fmt_duration, header, RunOptions};
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_server::offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
+use std::time::{Duration, Instant};
+
+/// Default scale per dataset: a strictly growing user count so the
+/// size-dependence of each back-end shows, while keeping the sweep to about
+/// a minute on a laptop.
+fn default_scales() -> [(DatasetSpec, f64); 4] {
+    [
+        (DatasetSpec::ML1, 1.0),
+        (DatasetSpec::ML2, 0.25),
+        (DatasetSpec::ML3, 0.06),
+        (DatasetSpec::DIGG, 0.08),
+    ]
+}
+
+/// Measured CRec runtimes per dataset (used by Table 3).
+#[derive(Debug, Clone)]
+pub struct Fig7Results {
+    /// `(dataset name, scaled users, full users, measured CRec runtime)`.
+    pub crec_runtimes: Vec<(&'static str, usize, usize, Duration)>,
+}
+
+/// Runs the Figure 7 regeneration, returning CRec timings for Table 3.
+pub fn run(options: &RunOptions) -> Fig7Results {
+    banner(
+        "Figure 7",
+        "Wall-clock KNN selection time per back-end (paper: CRec fastest, gap grows with size)",
+    );
+    let k = 10;
+    let mut crec_runtimes = Vec::new();
+    header(&["dataset", "users", "exhaustive", "mahout-single", "clus-mahout", "crec", "crec-rounds"]);
+    for (spec, default_scale) in default_scales() {
+        let scale = options.effective_scale(default_scale);
+        let scaled = spec.scaled(scale);
+        let trace = TraceGenerator::new(scaled, options.seed).generate().binarize();
+        let profiles = trace.final_profiles();
+
+        let time = |backend: &dyn OfflineBackend| {
+            let start = Instant::now();
+            let table = backend.compute(&profiles, k);
+            let elapsed = start.elapsed();
+            std::hint::black_box(table);
+            elapsed
+        };
+
+        let exhaustive = time(&ExhaustiveBackend::default());
+        let mahout_single = time(&MahoutLikeBackend::single());
+        let clus_mahout = time(&MahoutLikeBackend::cluster());
+        let crec = CRecBackend::default();
+        let start = Instant::now();
+        let (_, rounds) = crec.compute_with_rounds(&profiles, k);
+        let crec_time = start.elapsed();
+
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            spec.name,
+            profiles.len(),
+            fmt_duration(exhaustive),
+            fmt_duration(mahout_single),
+            fmt_duration(clus_mahout),
+            fmt_duration(crec_time),
+            rounds,
+        );
+        crec_runtimes.push((spec.name, profiles.len(), spec.users, crec_time));
+    }
+    println!("# paper shape: CRec ≪ exhaustive at scale; Mahout between; gap grows with dataset");
+    Fig7Results { crec_runtimes }
+}

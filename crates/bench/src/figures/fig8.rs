@@ -1,0 +1,51 @@
+//! Figure 8: front-end response time vs profile size.
+//!
+//! Paper: HyRec consistently ~33% faster than CRec, gap growing with
+//! profile size; Online-Ideal orders of magnitude slower.
+
+use crate::{banner, header, RunOptions};
+use hyrec_sim::load::{
+    build_population, measure_crec_response, measure_hyrec_response,
+    measure_online_ideal_response,
+};
+
+/// Runs the Figure 8 regeneration.
+pub fn run(options: &RunOptions) {
+    banner(
+        "Figure 8",
+        "Avg response time vs profile size (paper: HyRec < CRec by ~33%; online ideal way above)",
+    );
+    let users = if options.full { 6_000 } else { 2_000 };
+    let requests = if options.full { 500 } else { 120 };
+    println!("({users} users, {requests} requests per point)");
+    header(&[
+        "profile-size",
+        "hyrec-k10(ms)",
+        "hyrec-k20(ms)",
+        "crec-k10(ms)",
+        "crec-k20(ms)",
+        "online-ideal-k10(ms)",
+    ]);
+    let ms = |stats: hyrec_sim::load::LatencyStats| stats.mean.as_secs_f64() * 1e3;
+    let mut gaps = Vec::new();
+    for ps in [10usize, 50, 100, 200, 300, 500] {
+        let pop10 = build_population(users, ps, 10, options.seed);
+        let pop20 = build_population(users, ps, 20, options.seed + 1);
+        let hyrec10 = ms(measure_hyrec_response(&pop10, requests, options.seed));
+        let hyrec20 = ms(measure_hyrec_response(&pop20, requests, options.seed));
+        let crec10 = ms(measure_crec_response(&pop10, requests, options.seed));
+        let crec20 = ms(measure_crec_response(&pop20, requests, options.seed));
+        // The full-scan baseline is slow; sample fewer requests.
+        let ideal10 = ms(measure_online_ideal_response(&pop10, requests / 4, options.seed));
+        println!(
+            "{ps}\t{hyrec10:.3}\t{hyrec20:.3}\t{crec10:.3}\t{crec20:.3}\t{ideal10:.3}"
+        );
+        gaps.push(1.0 - hyrec10 / crec10.max(1e-9));
+    }
+    let avg_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    println!(
+        "# HyRec faster than CRec by {:.0}% on average (paper: ~33%); gap at ps=500: {:.0}%",
+        avg_gap * 100.0,
+        gaps.last().unwrap_or(&0.0) * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! One module per paper artifact. Each exposes `run(&RunOptions)`.
+
+pub mod bandwidth;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;

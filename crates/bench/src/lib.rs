@@ -1,0 +1,101 @@
+//! # hyrec-bench
+//!
+//! The experiment harness of the HyRec reproduction. One module per paper
+//! artifact (`figures::fig3` … `figures::table3`), each regenerating the
+//! corresponding table or figure: same workloads, same parameter sweeps,
+//! same series — printed as tab-separated columns with the paper's axes.
+//!
+//! Run everything through the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p hyrec-bench --bin figures -- all
+//! cargo run --release -p hyrec-bench --bin figures -- fig3 --scale 0.5
+//! cargo run --release -p hyrec-bench --bin figures -- fig7 --full
+//! ```
+//!
+//! Criterion micro-benches live under `benches/` and cover the kernels the
+//! figures aggregate (similarity, KNN step, wire codecs, job encoding).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use std::time::Duration;
+
+/// Common options threaded into every figure runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Dataset scale factor in `(0, 1]`; figures pick per-figure defaults
+    /// when `None`.
+    pub scale: Option<f64>,
+    /// Run at full paper scale (overrides `scale`).
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { scale: None, full: false, seed: 0xB005 }
+    }
+}
+
+impl RunOptions {
+    /// Resolves the effective scale given a figure's default.
+    #[must_use]
+    pub fn effective_scale(&self, default_scale: f64) -> f64 {
+        if self.full {
+            1.0
+        } else {
+            self.scale.unwrap_or(default_scale).clamp(1e-4, 1.0)
+        }
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("\n=== {id}: {caption} ===");
+}
+
+/// Prints a tab-separated header row.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a duration in adaptive units for series output.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_scale_resolution() {
+        let default = RunOptions::default();
+        assert_eq!(default.effective_scale(0.3), 0.3);
+        let explicit = RunOptions { scale: Some(0.7), ..Default::default() };
+        assert_eq!(explicit.effective_scale(0.3), 0.7);
+        let full = RunOptions { full: true, scale: Some(0.1), ..Default::default() };
+        assert_eq!(full.effective_scale(0.3), 1.0);
+        let wild = RunOptions { scale: Some(9.0), ..Default::default() };
+        assert_eq!(wild.effective_scale(0.3), 1.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0us");
+    }
+}

@@ -1,0 +1,53 @@
+//! # hyrec-client
+//!
+//! The HyRec **widget**: the client-side half of the hybrid architecture
+//! (Section 3.2 of the paper), as a pure compute kernel.
+//!
+//! On receiving a personalization job the widget
+//!
+//! 1. computes the user's recommended items (*Algorithm 2*), and
+//! 2. runs one iteration of KNN selection (*Algorithm 1*),
+//!
+//! then returns both. It keeps **no local state** — "it receives the
+//! necessary information from the server and forgets it after displaying
+//! recommendations and sending the new KNN to the server" — which is what
+//! lets the same user roam across devices.
+//!
+//! ## WASM compatibility
+//!
+//! The paper runs this code as JavaScript in the browser. This crate is the
+//! Rust equivalent, deliberately free of threads, I/O, clocks and OS
+//! dependencies so it compiles unchanged for `wasm32-unknown-unknown`; a real
+//! deployment would expose [`Widget::run_encoded_job`] through `wasm-bindgen`
+//! and keep the paper's exact architecture with a faster-than-JS kernel.
+//!
+//! ```
+//! use hyrec_client::Widget;
+//! use hyrec_core::{CandidateSet, Profile, UserId};
+//! use hyrec_wire::PersonalizationJob;
+//!
+//! let mut candidates = CandidateSet::new();
+//! candidates.insert(UserId(2), Profile::from_liked([1, 2, 3]));
+//! candidates.insert(UserId(3), Profile::from_liked([2, 3, 4]));
+//! let job = PersonalizationJob {
+//!     uid: UserId(1),
+//!     k: 2,
+//!     r: 3,
+//!     profile: Profile::from_liked([1, 2]),
+//!     candidates,
+//! };
+//!
+//! let widget = Widget::new();
+//! let output = widget.run_job(&job);
+//! assert_eq!(output.update.uid, UserId(1));
+//! assert!(!output.recommendations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hooks;
+pub mod widget;
+
+pub use hooks::{MostPopular, RecommendationPolicy, Serendipity};
+pub use widget::{Widget, WidgetBuilder, WidgetOutput};

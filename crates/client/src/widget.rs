@@ -1,0 +1,244 @@
+//! The widget itself: stateless execution of personalization jobs.
+
+use crate::hooks::{MostPopular, RecommendationPolicy};
+use hyrec_core::{knn, Cosine, Recommendation, Similarity};
+use hyrec_wire::{KnnUpdate, PersonalizationJob, WireError};
+use std::sync::Arc;
+
+/// The result of one widget run: what to display and what to send back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidgetOutput {
+    /// Items to display to the user (Algorithm 2's output).
+    pub recommendations: Vec<Recommendation>,
+    /// The new KNN selection to report to the server (Algorithm 1's output).
+    pub update: KnnUpdate,
+}
+
+/// The HyRec widget: runs personalization jobs with pluggable hooks.
+///
+/// Cheap to clone (hooks are shared through `Arc`), stateless between jobs.
+///
+/// ```
+/// use hyrec_client::{Widget, Serendipity};
+/// use hyrec_core::Jaccard;
+///
+/// // A content provider customizing both hooks (Table 1 of the paper):
+/// let widget = Widget::builder()
+///     .similarity(Jaccard)
+///     .policy(Serendipity::default())
+///     .build();
+/// assert_eq!(widget.similarity_name(), "jaccard");
+/// assert_eq!(widget.policy_name(), "serendipity");
+/// ```
+#[derive(Clone)]
+pub struct Widget {
+    similarity: Arc<dyn Similarity>,
+    policy: Arc<dyn RecommendationPolicy>,
+}
+
+impl std::fmt::Debug for Widget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Widget")
+            .field("similarity", &self.similarity.name())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl Default for Widget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Widget {
+    /// Creates a widget with the paper's defaults: cosine similarity and
+    /// most-popular recommendation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { similarity: Arc::new(Cosine), policy: Arc::new(MostPopular) }
+    }
+
+    /// Starts building a customized widget.
+    #[must_use]
+    pub fn builder() -> WidgetBuilder {
+        WidgetBuilder::default()
+    }
+
+    /// Name of the active similarity metric.
+    #[must_use]
+    pub fn similarity_name(&self) -> &'static str {
+        self.similarity.name()
+    }
+
+    /// Name of the active recommendation policy.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Executes one personalization job: Algorithm 2 then Algorithm 1.
+    ///
+    /// This is the entire client-side computation the paper offloads to the
+    /// browser — the work measured in Figures 12 and 13.
+    #[must_use]
+    pub fn run_job(&self, job: &PersonalizationJob) -> WidgetOutput {
+        let recommendations = self.policy.recommend(&job.profile, &job.candidates, job.r);
+        let hood = knn::select(
+            &job.profile,
+            job.candidates.pairs(),
+            job.k,
+            self.similarity.as_ref(),
+        );
+        WidgetOutput {
+            recommendations,
+            update: KnnUpdate::from_neighborhood(job.uid, &hood),
+        }
+    }
+
+    /// Executes a job straight from its wire encoding, returning the encoded
+    /// update — the full browser round-trip body (gunzip → parse → compute →
+    /// serialize → gzip), as exercised by the HTTP example and benches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gzip/JSON/schema errors from the job decoding.
+    pub fn run_encoded_job(&self, bytes: &[u8]) -> Result<(WidgetOutput, Vec<u8>), WireError> {
+        let job = PersonalizationJob::decode(bytes)?;
+        let output = self.run_job(&job);
+        let encoded = output.update.encode();
+        Ok((output, encoded))
+    }
+}
+
+/// Builder for customized widgets (Rust guideline C-BUILDER).
+#[derive(Default)]
+pub struct WidgetBuilder {
+    similarity: Option<Arc<dyn Similarity>>,
+    policy: Option<Arc<dyn RecommendationPolicy>>,
+}
+
+impl std::fmt::Debug for WidgetBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WidgetBuilder")
+            .field("similarity", &self.similarity.as_ref().map(|s| s.name()))
+            .field("policy", &self.policy.as_ref().map(|p| p.name()))
+            .finish()
+    }
+}
+
+impl WidgetBuilder {
+    /// Sets the similarity metric (the `setSimilarity()` hook).
+    #[must_use]
+    pub fn similarity(mut self, similarity: impl Similarity + 'static) -> Self {
+        self.similarity = Some(Arc::new(similarity));
+        self
+    }
+
+    /// Sets the recommendation policy (the `setRecommendedItems()` hook).
+    #[must_use]
+    pub fn policy(mut self, policy: impl RecommendationPolicy + 'static) -> Self {
+        self.policy = Some(Arc::new(policy));
+        self
+    }
+
+    /// Builds the widget, defaulting unset hooks to the paper's choices.
+    #[must_use]
+    pub fn build(self) -> Widget {
+        Widget {
+            similarity: self.similarity.unwrap_or_else(|| Arc::new(Cosine)),
+            policy: self.policy.unwrap_or_else(|| Arc::new(MostPopular)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_core::{CandidateSet, ItemId, Profile, UserId};
+
+    fn job() -> PersonalizationJob {
+        let mut candidates = CandidateSet::new();
+        candidates.insert(UserId(2), Profile::from_liked([1u32, 2, 3]));
+        candidates.insert(UserId(3), Profile::from_liked([2u32, 3, 4]));
+        candidates.insert(UserId(4), Profile::from_liked([100u32]));
+        PersonalizationJob {
+            uid: UserId(1),
+            k: 2,
+            r: 2,
+            profile: Profile::from_liked([1u32, 2]),
+            candidates,
+        }
+    }
+
+    #[test]
+    fn run_job_produces_both_outputs() {
+        let out = Widget::new().run_job(&job());
+        assert_eq!(out.update.uid, UserId(1));
+        assert_eq!(out.update.neighbors.len(), 2);
+        // Most similar candidate (u2 shares items 1,2) comes first.
+        assert_eq!(out.update.neighbors[0].user, UserId(2));
+        // Recommended items exclude already-seen 1 and 2.
+        assert!(out.recommendations.iter().all(|r| r.item != ItemId(1)));
+        assert!(out.recommendations.iter().all(|r| r.item != ItemId(2)));
+        assert_eq!(out.recommendations[0].item, ItemId(3)); // liked by both
+    }
+
+    #[test]
+    fn widget_is_stateless_across_jobs() {
+        let widget = Widget::new();
+        let first = widget.run_job(&job());
+        let second = widget.run_job(&job());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn encoded_round_trip_runs_full_pipeline() {
+        let job = job();
+        let bytes = job.encode();
+        let (out, update_bytes) = Widget::new().run_encoded_job(&bytes).unwrap();
+        let update = KnnUpdate::decode(&update_bytes).unwrap();
+        // Similarities are quantized to 1e-6 on the wire; identity holds
+        // on users and order, and scores agree within quantization error.
+        assert_eq!(update.uid, out.update.uid);
+        let ids = |u: &KnnUpdate| u.neighbors.iter().map(|n| n.user).collect::<Vec<_>>();
+        assert_eq!(ids(&update), ids(&out.update));
+        for (a, b) in update.neighbors.iter().zip(out.update.neighbors.iter()) {
+            assert!((a.similarity - b.similarity).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encoded_job_rejects_garbage() {
+        assert!(Widget::new().run_encoded_job(b"junk").is_err());
+    }
+
+    #[test]
+    fn k_and_r_bounds_respected() {
+        let mut j = job();
+        j.k = 0;
+        j.r = 0;
+        let out = Widget::new().run_job(&j);
+        assert!(out.update.neighbors.is_empty());
+        assert!(out.recommendations.is_empty());
+
+        j.k = 100;
+        j.r = 100;
+        let out = Widget::new().run_job(&j);
+        assert_eq!(out.update.neighbors.len(), 3); // bounded by candidates
+    }
+
+    #[test]
+    fn custom_similarity_changes_ranking_name() {
+        let widget = Widget::builder().similarity(hyrec_core::Overlap).build();
+        assert_eq!(widget.similarity_name(), "overlap");
+        let out = widget.run_job(&job());
+        assert_eq!(out.update.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn widget_is_send_sync_and_cloneable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Widget>();
+    }
+}

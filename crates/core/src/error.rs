@@ -1,0 +1,55 @@
+//! Error type for core operations.
+
+use crate::id::UserId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by core-level operations.
+///
+/// Kept deliberately small: most core functions are total over their inputs;
+/// errors only arise at lookup boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The referenced user has no profile in the table.
+    UnknownUser(UserId),
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownUser(user) => write!(f, "unknown user {user}"),
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::UnknownUser(UserId(7));
+        assert_eq!(e.to_string(), "unknown user u7");
+        let e = CoreError::InvalidParameter { name: "k", reason: "must be positive" };
+        assert!(e.to_string().contains('k'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

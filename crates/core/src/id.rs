@@ -1,0 +1,124 @@
+//! Newtype identifiers for users and items.
+//!
+//! HyRec's anonymous mapping (Section 3.1 of the paper) relies on identifiers
+//! being opaque tokens that can be re-shuffled at any time, so the rest of the
+//! code never assumes identifiers are dense or stable. The newtypes keep user
+//! and item spaces statically distinct (Rust API guideline C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user.
+///
+/// In the real deployment this is the pseudonym assigned by the server's
+/// anonymous mapping, *not* a durable account id; see
+/// `hyrec_server::anonymize`.
+///
+/// ```
+/// use hyrec_core::UserId;
+/// let u = UserId(42);
+/// assert_eq!(u.0, 42);
+/// assert_eq!(u.to_string(), "u42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item (a movie, a news story, ...).
+///
+/// ```
+/// use hyrec_core::ItemId;
+/// let i = ItemId(7);
+/// assert_eq!(i.to_string(), "i7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(raw: u32) -> Self {
+        UserId(raw)
+    }
+}
+
+impl From<UserId> for u32 {
+    fn from(id: UserId) -> Self {
+        id.0
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(raw: u32) -> Self {
+        ItemId(raw)
+    }
+}
+
+impl From<ItemId> for u32 {
+    fn from(id: ItemId) -> Self {
+        id.0
+    }
+}
+
+impl UserId {
+    /// Returns the raw numeric value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl ItemId {
+    /// Returns the raw numeric value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(ItemId(3).to_string(), "i3");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let u: UserId = 9u32.into();
+        let raw: u32 = u.into();
+        assert_eq!(raw, 9);
+        let i: ItemId = 11u32.into();
+        let raw: u32 = i.into();
+        assert_eq!(raw, 11);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(UserId(1));
+        set.insert(UserId(1));
+        assert_eq!(set.len(), 1);
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(5) > ItemId(4));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(UserId::default(), UserId(0));
+        assert_eq!(ItemId::default(), ItemId(0));
+    }
+}

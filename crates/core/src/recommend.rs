@@ -1,0 +1,208 @@
+//! Item recommendation — *Algorithm 2* of the paper: `α(S_u, P_u)`.
+//!
+//! Recommends to user `u` the `r` items most popular among the candidate
+//! profiles that `u` has not been exposed to. This runs in the browser widget
+//! in HyRec and on the front-end server in the CRec baseline.
+
+use crate::id::ItemId;
+use crate::profile::Profile;
+use crate::topk::TopK;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One recommended item with the popularity evidence that ranked it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The recommended item.
+    pub item: ItemId,
+    /// How many candidate profiles liked the item.
+    pub popularity: u32,
+}
+
+/// *Algorithm 2*: the `r` most-popular unseen items across `candidates`.
+///
+/// Popularity counts how many candidate profiles *like* each item; items the
+/// target profile was already exposed to (liked or disliked) are excluded.
+/// Results are ranked by descending popularity; ties broken by ascending item
+/// id so the output is deterministic.
+///
+/// ```
+/// use hyrec_core::{recommend, ItemId, Profile};
+/// let me = Profile::from_liked([1]);
+/// let others = vec![
+///     Profile::from_liked([1, 2, 3]),
+///     Profile::from_liked([2, 3]),
+///     Profile::from_liked([2]),
+/// ];
+/// let recs = recommend::most_popular(&me, others.iter(), 2);
+/// assert_eq!(recs[0].item, ItemId(2)); // liked by 3 candidates
+/// assert_eq!(recs[0].popularity, 3);
+/// assert_eq!(recs[1].item, ItemId(3));
+/// ```
+pub fn most_popular<'a, I>(profile: &Profile, candidates: I, r: usize) -> Vec<Recommendation>
+where
+    I: IntoIterator<Item = &'a Profile>,
+{
+    let counts = popularity_counts(profile, candidates);
+    rank(counts, r)
+}
+
+/// Computes the raw popularity table of Algorithm 2 (lines 1–8): unseen item
+/// → number of candidate profiles that like it.
+///
+/// Exposed for callers that need the intermediate result (C-INTERMEDIATE),
+/// e.g. to re-rank with a custom policy via [`rank_with`].
+pub fn popularity_counts<'a, I>(profile: &Profile, candidates: I) -> HashMap<ItemId, u32>
+where
+    I: IntoIterator<Item = &'a Profile>,
+{
+    let mut popularity: HashMap<ItemId, u32> = HashMap::new();
+    for candidate in candidates {
+        for item in candidate.liked() {
+            if !profile.contains(item) {
+                *popularity.entry(item).or_insert(0) += 1;
+            }
+        }
+    }
+    popularity
+}
+
+/// Ranks a popularity table into the final top-`r` recommendation list
+/// (Algorithm 2, line 9: `subList(r, sort(popularity))`).
+#[must_use]
+pub fn rank(counts: HashMap<ItemId, u32>, r: usize) -> Vec<Recommendation> {
+    // Tie-break by ascending item id for determinism: fold the id into the
+    // score so equal popularities order stably.
+    rank_with(counts, r, |item, count| {
+        f64::from(count) - f64::from(item.raw()) * 1e-12
+    })
+}
+
+/// Ranks a popularity table with a caller-supplied scoring function — the
+/// `setRecommendedItems()` customization hook of Table 1 in the paper.
+///
+/// `score(item, popularity)` returns the ranking key (higher = better).
+pub fn rank_with<F>(counts: HashMap<ItemId, u32>, r: usize, score: F) -> Vec<Recommendation>
+where
+    F: Fn(ItemId, u32) -> f64,
+{
+    let mut top = TopK::new(r);
+    for (item, count) in counts {
+        top.push(Recommendation { item, popularity: count }, score(item, count));
+    }
+    top.into_sorted_vec().into_iter().map(|(rec, _)| rec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates() -> Vec<Profile> {
+        vec![
+            Profile::from_liked([1u32, 2, 3]),
+            Profile::from_liked([2u32, 3, 4]),
+            Profile::from_liked([2u32, 5]),
+        ]
+    }
+
+    #[test]
+    fn excludes_exposed_items() {
+        let me = Profile::from_votes([2u32], [3u32]); // liked 2, disliked 3
+        let pool = candidates();
+        let recs = most_popular(&me, pool.iter(), 10);
+        assert!(recs.iter().all(|r| r.item != ItemId(2)));
+        assert!(recs.iter().all(|r| r.item != ItemId(3)));
+    }
+
+    #[test]
+    fn ranks_by_popularity() {
+        let me = Profile::new();
+        let pool = candidates();
+        let recs = most_popular(&me, pool.iter(), 2);
+        assert_eq!(recs[0].item, ItemId(2));
+        assert_eq!(recs[0].popularity, 3);
+        assert_eq!(recs[1].item, ItemId(3));
+        assert_eq!(recs[1].popularity, 2);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item_id() {
+        let me = Profile::new();
+        let pool = vec![Profile::from_liked([9u32, 4, 7])];
+        let recs = most_popular(&me, pool.iter(), 3);
+        assert_eq!(
+            recs.iter().map(|r| r.item).collect::<Vec<_>>(),
+            vec![ItemId(4), ItemId(7), ItemId(9)]
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_no_recommendations() {
+        let me = Profile::from_liked([1u32]);
+        let recs = most_popular(&me, std::iter::empty(), 5);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn r_zero_yields_nothing() {
+        let me = Profile::new();
+        let pool = candidates();
+        assert!(most_popular(&me, pool.iter(), 0).is_empty());
+    }
+
+    #[test]
+    fn custom_rank_hook_can_invert_order() {
+        let me = Profile::new();
+        let pool = candidates();
+        let counts = popularity_counts(&me, pool.iter());
+        // Serendipity-style hook: prefer *less* popular items.
+        let recs = rank_with(counts, 1, |_, count| -f64::from(count));
+        assert_eq!(recs[0].popularity, 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_profile() -> impl Strategy<Value = Profile> {
+            proptest::collection::vec(0u32..80, 0..25).prop_map(Profile::from_liked)
+        }
+
+        proptest! {
+            #[test]
+            fn never_recommends_seen_items(
+                me in arb_profile(),
+                pool in proptest::collection::vec(arb_profile(), 0..20),
+                r in 0usize..15,
+            ) {
+                let recs = most_popular(&me, pool.iter(), r);
+                prop_assert!(recs.len() <= r);
+                for rec in &recs {
+                    prop_assert!(!me.contains(rec.item));
+                }
+            }
+
+            #[test]
+            fn popularity_counts_are_exact(
+                me in arb_profile(),
+                pool in proptest::collection::vec(arb_profile(), 0..20),
+            ) {
+                let recs = most_popular(&me, pool.iter(), usize::MAX);
+                for rec in &recs {
+                    let expect = pool.iter().filter(|p| p.likes(rec.item)).count() as u32;
+                    prop_assert_eq!(rec.popularity, expect);
+                }
+            }
+
+            #[test]
+            fn output_is_sorted_by_popularity(
+                me in arb_profile(),
+                pool in proptest::collection::vec(arb_profile(), 0..20),
+                r in 1usize..10,
+            ) {
+                let recs = most_popular(&me, pool.iter(), r);
+                prop_assert!(recs.windows(2).all(|w| w[0].popularity >= w[1].popularity));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Similarity metrics between user profiles.
+//!
+//! The paper uses cosine similarity over binary profiles ("we use cosine
+//! similarity in this paper, but any other metric could be used",
+//! Section 2.1) and exposes the metric as a customization point on the widget
+//! (`setSimilarity()`, Table 1). [`Similarity`] is that customization point;
+//! [`Cosine`] is the default, with [`Jaccard`] and [`Overlap`] as the common
+//! alternatives a content provider would plug in.
+
+use crate::profile::Profile;
+
+/// A similarity metric between two binary profiles.
+///
+/// Implementations must be pure functions of the two profiles, returning a
+/// score in `[0, 1]` where higher means more similar. The trait is
+/// object-safe so the widget can hold a `&dyn Similarity` chosen at runtime
+/// (the `setSimilarity()` hook of Table 1).
+///
+/// ```
+/// use hyrec_core::{Cosine, Profile, Similarity};
+/// let a = Profile::from_liked([1, 2]);
+/// let b = Profile::from_liked([2, 3]);
+/// let metric: &dyn Similarity = &Cosine;
+/// let s = metric.score(&a, &b);
+/// assert!(s > 0.0 && s < 1.0);
+/// ```
+pub trait Similarity: Send + Sync {
+    /// Scores the similarity between profiles `a` and `b` in `[0, 1]`.
+    ///
+    /// A score of `0.0` means no shared taste; `1.0` means identical liked
+    /// sets. Either profile may be empty, in which case the score is `0.0`.
+    fn score(&self, a: &Profile, b: &Profile) -> f64;
+
+    /// A short stable name, used in experiment output and logs.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Cosine similarity over binary liked-item vectors (the paper's default).
+///
+/// For binary vectors this is `|A ∩ B| / sqrt(|A| * |B|)`.
+///
+/// ```
+/// use hyrec_core::{Cosine, Profile, Similarity};
+/// let a = Profile::from_liked([1, 2, 3, 4]);
+/// assert_eq!(Cosine.score(&a, &a), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Similarity for Cosine {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        let (la, lb) = (a.liked_len(), b.liked_len());
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        let inter = a.liked_intersection_len(b) as f64;
+        inter / ((la as f64) * (lb as f64)).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Jaccard similarity: `|A ∩ B| / |A ∪ B|`.
+///
+/// Less forgiving than cosine when profile sizes differ widely; useful for
+/// feed-style workloads with short profiles (the Digg case).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+impl Similarity for Jaccard {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        let (la, lb) = (a.liked_len(), b.liked_len());
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        let inter = a.liked_intersection_len(b);
+        let union = la + lb - inter;
+        inter as f64 / union as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Overlap (Szymkiewicz–Simpson) coefficient: `|A ∩ B| / min(|A|, |B|)`.
+///
+/// Insensitive to the larger profile's size; favours niche sub-community
+/// matches, at the price of saturating quickly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Overlap;
+
+impl Similarity for Overlap {
+    fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        let (la, lb) = (a.liked_len(), b.liked_len());
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        let inter = a.liked_intersection_len(b);
+        inter as f64 / la.min(lb) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ItemId;
+
+    fn profiles() -> (Profile, Profile) {
+        (
+            Profile::from_liked([1u32, 2, 3, 4]),
+            Profile::from_liked([3u32, 4, 5, 6]),
+        )
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        let (a, b) = profiles();
+        // |A∩B| = 2, sqrt(4*4) = 4 -> 0.5
+        assert!((Cosine.score(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        let (a, b) = profiles();
+        // 2 / (4 + 4 - 2) = 1/3
+        assert!((Jaccard.score(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_known_value() {
+        let a = Profile::from_liked([1u32, 2]);
+        let b = Profile::from_liked([1u32, 2, 3, 4, 5, 6]);
+        assert!((Overlap.score(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profiles_score_zero() {
+        let empty = Profile::new();
+        let full = Profile::from_liked([1u32, 2]);
+        for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+            assert_eq!(metric.score(&empty, &full), 0.0);
+            assert_eq!(metric.score(&full, &empty), 0.0);
+            assert_eq!(metric.score(&empty, &empty), 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_profiles_score_one() {
+        let p = Profile::from_liked([10u32, 20, 30]);
+        for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+            assert!((metric.score(&p, &p) - 1.0).abs() < 1e-12, "{}", metric.name());
+        }
+    }
+
+    #[test]
+    fn dislikes_do_not_contribute() {
+        let mut a = Profile::from_liked([1u32, 2]);
+        let b = Profile::from_liked([1u32, 2]);
+        let before = Cosine.score(&a, &b);
+        a.record(ItemId(99), crate::profile::Vote::Dislike);
+        assert_eq!(Cosine.score(&a, &b), before);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Cosine.name(), "cosine");
+        assert_eq!(Jaccard.name(), "jaccard");
+        assert_eq!(Overlap.name(), "overlap");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_profile() -> impl Strategy<Value = Profile> {
+            proptest::collection::vec(0u32..500, 0..60).prop_map(Profile::from_liked)
+        }
+
+        proptest! {
+            #[test]
+            fn scores_are_within_unit_interval(a in arb_profile(), b in arb_profile()) {
+                for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+                    let s = metric.score(&a, &b);
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+                }
+            }
+
+            #[test]
+            fn scores_are_symmetric(a in arb_profile(), b in arb_profile()) {
+                for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+                    prop_assert!((metric.score(&a, &b) - metric.score(&b, &a)).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn self_similarity_is_one_when_nonempty(a in arb_profile()) {
+                prop_assume!(a.liked_len() > 0);
+                for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+                    prop_assert!((metric.score(&a, &a) - 1.0).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn disjoint_profiles_score_zero(
+                xs in proptest::collection::vec(0u32..100, 1..30),
+                ys in proptest::collection::vec(200u32..300, 1..30),
+            ) {
+                let a = Profile::from_liked(xs);
+                let b = Profile::from_liked(ys);
+                for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
+                    prop_assert_eq!(metric.score(&a, &b), 0.0);
+                }
+            }
+
+            #[test]
+            fn jaccard_never_exceeds_cosine_never_exceeds_overlap(
+                a in arb_profile(), b in arb_profile()
+            ) {
+                // For binary sets: J <= C <= O (AM-GM: sqrt(|A||B|) <= union size; min <= sqrt).
+                let j = Jaccard.score(&a, &b);
+                let c = Cosine.score(&a, &b);
+                let o = Overlap.score(&a, &b);
+                prop_assert!(j <= c + 1e-12);
+                prop_assert!(c <= o + 1e-12);
+            }
+        }
+    }
+}

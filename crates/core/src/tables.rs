@@ -1,0 +1,313 @@
+//! The server's global data structures: the Profile Table and the KNN Table.
+//!
+//! Section 2.2/3.1 of the paper: "the server maintains two global data
+//! structures: a Profile Table, recording the profiles of all the users in
+//! the system, and the KNN Table containing the k nearest neighbors of each
+//! user". Both tables sit on the request path of every online user, so they
+//! are sharded and guarded by `parking_lot` RwLocks: reads (sampler pulling
+//! candidate profiles) massively dominate writes (one profile update and one
+//! KNN write-back per request).
+
+use crate::id::UserId;
+use crate::knn::Neighborhood;
+use crate::profile::{Profile, Vote};
+use crate::ItemId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Number of lock shards. Power of two so the shard of a user is a mask away.
+const SHARDS: usize = 64;
+
+fn shard_of(user: UserId) -> usize {
+    // Fibonacci hashing spreads sequential uids across shards.
+    ((user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (SHARDS - 1)
+}
+
+/// Sharded, thread-safe map from user to profile.
+///
+/// ```
+/// use hyrec_core::{ItemId, Profile, ProfileTable, UserId, Vote};
+/// let table = ProfileTable::new();
+/// table.record(UserId(1), ItemId(10), Vote::Like);
+/// assert_eq!(table.get(UserId(1)).unwrap().liked_len(), 1);
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProfileTable {
+    shards: Vec<RwLock<HashMap<UserId, Profile>>>,
+}
+
+impl Default for ProfileTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Records a vote into `user`'s profile, creating the profile if absent.
+    ///
+    /// Returns `true` when the vote changed the profile — the signal the
+    /// orchestrator uses to decide whether a new KNN iteration is worthwhile.
+    pub fn record(&self, user: UserId, item: ItemId, vote: Vote) -> bool {
+        let mut shard = self.shards[shard_of(user)].write();
+        shard.entry(user).or_default().record(item, vote)
+    }
+
+    /// Replaces `user`'s whole profile, returning the previous one if any.
+    pub fn insert(&self, user: UserId, profile: Profile) -> Option<Profile> {
+        let mut shard = self.shards[shard_of(user)].write();
+        shard.insert(user, profile)
+    }
+
+    /// Returns a clone of `user`'s profile.
+    ///
+    /// Clones are intentional: candidate profiles get serialized into a
+    /// personalization job anyway, and cloning under a short read lock beats
+    /// holding the shard across serialization.
+    #[must_use]
+    pub fn get(&self, user: UserId) -> Option<Profile> {
+        self.shards[shard_of(user)].read().get(&user).cloned()
+    }
+
+    /// Runs `f` on the profile without cloning (read lock held during `f`).
+    pub fn with<R>(&self, user: UserId, f: impl FnOnce(&Profile) -> R) -> Option<R> {
+        self.shards[shard_of(user)].read().get(&user).map(f)
+    }
+
+    /// Whether the table has a profile for `user`.
+    #[must_use]
+    pub fn contains(&self, user: UserId) -> bool {
+        self.shards[shard_of(user)].read().contains_key(&user)
+    }
+
+    /// Total number of users with a profile.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no user has a profile.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Snapshot of all user ids (unordered).
+    #[must_use]
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            ids.extend(shard.read().keys().copied());
+        }
+        ids
+    }
+
+    /// Snapshot of the whole table (unordered), for offline back-ends that
+    /// batch over every user (Offline-Ideal, Offline-CRec, Mahout-like).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(UserId, Profile)> {
+        let mut all = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.read().iter().map(|(u, p)| (*u, p.clone())));
+        }
+        all
+    }
+}
+
+/// Sharded, thread-safe map from user to current KNN approximation.
+///
+/// ```
+/// use hyrec_core::{KnnTable, Neighborhood, UserId};
+/// let table = KnnTable::new();
+/// table.update(UserId(1), Neighborhood::new());
+/// assert!(table.get(UserId(1)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct KnnTable {
+    shards: Vec<RwLock<HashMap<UserId, Neighborhood>>>,
+}
+
+impl Default for KnnTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KnnTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Stores the new KNN approximation sent back by a widget (Arrow 3 in
+    /// Figure 1), replacing the previous one.
+    pub fn update(&self, user: UserId, hood: Neighborhood) {
+        self.shards[shard_of(user)].write().insert(user, hood);
+    }
+
+    /// Returns a clone of `user`'s current neighbourhood.
+    #[must_use]
+    pub fn get(&self, user: UserId) -> Option<Neighborhood> {
+        self.shards[shard_of(user)].read().get(&user).cloned()
+    }
+
+    /// Runs `f` on the neighbourhood without cloning.
+    pub fn with<R>(&self, user: UserId, f: impl FnOnce(&Neighborhood) -> R) -> Option<R> {
+        self.shards[shard_of(user)].read().get(&user).map(f)
+    }
+
+    /// Whether the table has an entry for `user`.
+    #[must_use]
+    pub fn contains(&self, user: UserId) -> bool {
+        self.shards[shard_of(user)].read().contains_key(&user)
+    }
+
+    /// Number of users with a stored neighbourhood.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no neighbourhood is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Mean view similarity across all users with a non-empty neighbourhood —
+    /// the paper's *average view similarity* metric (Figures 3–4).
+    ///
+    /// Summation runs in user-id order so the floating-point result is
+    /// identical across runs (hash-map iteration order is per-instance
+    /// random, and f64 addition is not associative).
+    #[must_use]
+    pub fn average_view_similarity(&self) -> f64 {
+        let mut values: Vec<(UserId, f64)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            values.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(u, hood)| (*u, hood.view_similarity())),
+            );
+        }
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.sort_unstable_by_key(|(u, _)| *u);
+        values.iter().map(|(_, v)| v).sum::<f64>() / values.len() as f64
+    }
+
+    /// Snapshot of the whole table (unordered).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(UserId, Neighborhood)> {
+        let mut all = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.read().iter().map(|(u, n)| (*u, n.clone())));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Neighbor;
+    use std::sync::Arc;
+
+    #[test]
+    fn profile_record_and_get() {
+        let t = ProfileTable::new();
+        assert!(t.record(UserId(1), ItemId(5), Vote::Like));
+        assert!(!t.record(UserId(1), ItemId(5), Vote::Like));
+        assert!(t.contains(UserId(1)));
+        assert_eq!(t.get(UserId(1)).unwrap().liked_len(), 1);
+        assert_eq!(t.get(UserId(2)), None);
+    }
+
+    #[test]
+    fn profile_with_avoids_clone() {
+        let t = ProfileTable::new();
+        t.record(UserId(3), ItemId(1), Vote::Like);
+        let n = t.with(UserId(3), |p| p.liked_len());
+        assert_eq!(n, Some(1));
+        assert_eq!(t.with(UserId(99), |p| p.liked_len()), None);
+    }
+
+    #[test]
+    fn snapshot_contains_everything() {
+        let t = ProfileTable::new();
+        for u in 0..100u32 {
+            t.record(UserId(u), ItemId(u), Vote::Like);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.snapshot().len(), 100);
+        assert_eq!(t.user_ids().len(), 100);
+    }
+
+    #[test]
+    fn knn_update_and_view_similarity() {
+        let t = KnnTable::new();
+        t.update(
+            UserId(1),
+            Neighborhood::from_neighbors([Neighbor { user: UserId(2), similarity: 0.8 }]),
+        );
+        t.update(
+            UserId(2),
+            Neighborhood::from_neighbors([Neighbor { user: UserId(1), similarity: 0.4 }]),
+        );
+        assert!((t.average_view_similarity() - 0.6).abs() < 1e-12);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_tables() {
+        let p = ProfileTable::new();
+        let k = KnnTable::new();
+        assert!(p.is_empty());
+        assert!(k.is_empty());
+        assert_eq!(k.average_view_similarity(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let table = Arc::new(ProfileTable::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let table = Arc::clone(&table);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    table.record(UserId(t * 1000 + i), ItemId(i), Vote::Like);
+                    let _ = table.get(UserId(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(table.len(), 8 * 500);
+    }
+
+    #[test]
+    fn shard_distribution_is_reasonable() {
+        // Sequential uids must not all land in one shard.
+        let mut counts = [0usize; SHARDS];
+        for u in 0..10_000u32 {
+            counts[shard_of(UserId(u))] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 10_000 / 8, "shard imbalance: max={max} min={min}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Sampling distributions used by the trace generator.
+//!
+//! Implemented in-crate (rather than pulling `rand_distr`) because only two
+//! distributions are needed: Zipf for item popularity and log-normal for
+//! user-activity skew.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` via inverse-CDF binary search.
+///
+/// Rank 0 is the most popular. Sampling is `O(log n)` after an `O(n)` setup.
+///
+/// ```
+/// use hyrec_datasets::distributions::Zipf;
+/// use rand::SeedableRng;
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cdf[i]` covers ranks `0..=i`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `exponent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent` is negative or non-finite.
+    #[must_use]
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(exponent >= 0.0 && exponent.is_finite(), "invalid exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the support.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support has a single rank.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // support is never empty by construction
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("non-empty support");
+        let needle = rng.gen::<f64>() * total;
+        // First index with cdf >= needle.
+        match self.cdf.binary_search_by(|w| {
+            w.partial_cmp(&needle).expect("weights are finite")
+        }) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Draws one standard-normal variate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling from the open interval.
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a log-normal variate `exp(mu + sigma * Z)`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Splits `total` into `n` non-negative integer shares proportional to
+/// `weights`, preserving the exact total (largest-remainder method).
+///
+/// Used to hand each user their ratings budget so the generated trace hits
+/// the spec's ratings count exactly.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty while `total > 0`, or weights are all zero.
+#[must_use]
+pub fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(!weights.is_empty(), "cannot apportion to zero users");
+    let sum: f64 = weights.iter().sum();
+    assert!(sum > 0.0, "weights must not be all zero");
+
+    let mut shares = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w / sum;
+        let floor = exact.floor() as usize;
+        shares.push(floor);
+        assigned += floor;
+        remainders.push((i, exact - floor as f64));
+    }
+    // Distribute the leftover to the largest remainders.
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut leftover = total - assigned;
+    for (i, _) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 100 by roughly 100x for exponent 1.
+        assert!(counts[0] > counts[100] * 20);
+        // Everything stays in range (implicitly checked by indexing).
+        assert!(counts[0] > 0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "non-uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn apportion_preserves_total() {
+        let weights = [0.5, 1.0, 2.5, 0.01];
+        let shares = apportion(1000, &weights);
+        assert_eq!(shares.iter().sum::<usize>(), 1000);
+        assert!(shares[2] > shares[0]);
+    }
+
+    #[test]
+    fn apportion_zero_total() {
+        assert_eq!(apportion(0, &[1.0, 2.0]), vec![0, 0]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn apportion_total_is_exact(
+                total in 0usize..10_000,
+                weights in proptest::collection::vec(0.001f64..100.0, 1..50),
+            ) {
+                let shares = apportion(total, &weights);
+                prop_assert_eq!(shares.iter().sum::<usize>(), total);
+                prop_assert_eq!(shares.len(), weights.len());
+            }
+
+            #[test]
+            fn zipf_samples_in_range(n in 1usize..500, exp in 0.0f64..2.5, seed in any::<u64>()) {
+                let zipf = Zipf::new(n, exp);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..50 {
+                    prop_assert!(zipf.sample(&mut rng) < n);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The synthetic trace generator.
+//!
+//! Produces star-rating traces whose marginal statistics match a
+//! [`DatasetSpec`] and whose *joint* structure gives KNN selection something
+//! to find:
+//!
+//! * **Item popularity** is Zipf-distributed (a handful of blockbusters, a
+//!   long tail), as observed in both MovieLens and Digg.
+//! * **Interest communities**: every user belongs to one of `C` communities;
+//!   with probability `community_affinity` a rating draws from the user's
+//!   community pool (items whose global rank ≡ community id mod C), giving
+//!   same-community users strongly overlapping liked sets.
+//! * **Star ratings** are biased by affinity: in-community items skew to 4–5
+//!   stars, out-of-community items to 1–3, so the paper's mean-threshold
+//!   binarization yields likes concentrated within communities.
+//! * **User activity** is log-normal (a few heavy raters, many light ones),
+//!   apportioned so the total ratings count matches the spec exactly.
+//! * **Timing**: users arrive throughout the first 40% of the period (the
+//!   paper notes "continuous arrival of new users") and spread their ratings
+//!   uniformly from arrival to the horizon.
+
+use crate::distributions::{apportion, log_normal, Zipf};
+use crate::spec::DatasetSpec;
+use crate::trace::{StarEvent, StarTrace, Timestamp};
+use hyrec_core::{ItemId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Deterministic, seeded generator for one dataset.
+///
+/// ```
+/// use hyrec_datasets::{DatasetSpec, TraceGenerator};
+/// let spec = DatasetSpec::ML1.scaled(0.05);
+/// let a = TraceGenerator::new(spec, 7).generate();
+/// let b = TraceGenerator::new(spec, 7).generate();
+/// assert_eq!(a, b); // same seed, same trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: DatasetSpec,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec` with a deterministic `seed`.
+    #[must_use]
+    pub fn new(spec: DatasetSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+
+    /// The spec being generated.
+    #[must_use]
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Community of a user (users are assigned round-robin by id).
+    #[must_use]
+    pub fn community_of_user(&self, user: UserId) -> usize {
+        user.0 as usize % self.spec.communities
+    }
+
+    /// Community of an item (items are striped by popularity rank so every
+    /// community pool contains popular and niche items alike).
+    #[must_use]
+    pub fn community_of_item(&self, item: ItemId) -> usize {
+        item.0 as usize % self.spec.communities
+    }
+
+    /// Generates the full star trace.
+    #[must_use]
+    pub fn generate(&self) -> StarTrace {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let c = spec.communities.max(1);
+
+        // Per-community item pools, striped by global popularity rank.
+        // Item id == global popularity rank (rank 0 most popular).
+        let pools: Vec<Vec<u32>> = (0..c)
+            .map(|community| {
+                (0..spec.items as u32)
+                    .filter(|i| (*i as usize) % c == community)
+                    .collect()
+            })
+            .collect();
+        let pool_zipfs: Vec<Zipf> = pools
+            .iter()
+            .map(|pool| Zipf::new(pool.len().max(1), spec.zipf_exponent))
+            .collect();
+        let global_zipf = Zipf::new(spec.items, spec.zipf_exponent);
+
+        // Ratings budget per user: log-normal weights, exact total.
+        let weights: Vec<f64> = (0..spec.users)
+            .map(|_| log_normal(&mut rng, 0.0, spec.activity_sigma))
+            .collect();
+        let mut budgets = apportion(spec.ratings, &weights);
+        // A user cannot rate more distinct items than exist; redistribute
+        // clipped surplus to light users (rarely triggers at paper scales).
+        let mut surplus = 0usize;
+        for b in budgets.iter_mut() {
+            if *b > spec.items {
+                surplus += *b - spec.items;
+                *b = spec.items;
+            }
+        }
+        let mut cursor = 0usize;
+        while surplus > 0 {
+            if budgets[cursor] < spec.items {
+                budgets[cursor] += 1;
+                surplus -= 1;
+            }
+            cursor = (cursor + 1) % budgets.len();
+        }
+
+        let period = spec.period_seconds().max(1);
+        // Users arrive throughout the trace ("continuous arrival of new
+        // users") and stay active for a log-normal session, after which
+        // they leave — the churn that makes offline KNN tables stale.
+        let arrival_window = (period as f64 * 0.85) as u64;
+        let session_median = (spec.session_days_median * 86_400.0).max(1.0);
+        let mut events = Vec::with_capacity(spec.ratings);
+
+        for (user_index, &budget) in budgets.iter().enumerate() {
+            if budget == 0 {
+                continue;
+            }
+            let user = UserId(user_index as u32);
+            let community = self.community_of_user(user);
+            let pool = &pools[community];
+            let pool_zipf = &pool_zipfs[community];
+
+            let arrival = rng.gen_range(0..=arrival_window);
+            let span =
+                (log_normal(&mut rng, session_median.ln(), 1.0) as u64).clamp(3_600, period);
+            let departure = (arrival + span).min(period);
+            // Activity happens in short bursts (a sitting of ~hours) spread
+            // across the user's span — the pattern real MovieLens/Digg
+            // users show, and the reason online KNN beats daily offline
+            // recomputation (a whole burst fits between two recomputes).
+            let burst_count = rng.gen_range(1..=4usize);
+            let burst_centers: Vec<u64> = (0..burst_count)
+                .map(|_| rng.gen_range(arrival..=departure))
+                .collect();
+            let burst_half_width = 2 * 3_600u64; // ±2 hours
+            let mut seen: HashSet<u32> = HashSet::with_capacity(budget * 2);
+            let mut times: Vec<u64> = (0..budget)
+                .map(|_| {
+                    let center = burst_centers[rng.gen_range(0..burst_centers.len())];
+                    let lo = center.saturating_sub(burst_half_width);
+                    let hi = (center + burst_half_width).min(period);
+                    rng.gen_range(lo..=hi)
+                })
+                .collect();
+            times.sort_unstable();
+
+            for &time in &times {
+                // Draw a not-yet-rated item: community pool w.p. affinity.
+                let mut in_community = rng.gen::<f64>() < spec.community_affinity
+                    && !pool.is_empty();
+                let mut rejections = 0usize;
+                let item = loop {
+                    // Heavy raters exhaust the Zipf head; after a bounded
+                    // number of rejections pick uniformly among unseen items.
+                    if rejections > 32 {
+                        let unseen: Vec<u32> = (0..spec.items as u32)
+                            .filter(|i| !seen.contains(i))
+                            .collect();
+                        debug_assert!(!unseen.is_empty(), "budget exceeds catalogue");
+                        let pick = unseen[rng.gen_range(0..unseen.len())];
+                        seen.insert(pick);
+                        break pick;
+                    }
+                    let candidate = if in_community {
+                        pool[pool_zipf.sample(&mut rng)]
+                    } else {
+                        global_zipf.sample(&mut rng) as u32
+                    };
+                    if seen.insert(candidate) {
+                        break candidate;
+                    }
+                    rejections += 1;
+                    // Pool exhausted for this user: fall back to global.
+                    if in_community && seen.len() >= pool.len() {
+                        in_community = false;
+                    }
+                };
+
+                // Star bias: own-community items score high.
+                let own = self.community_of_item(ItemId(item)) == community;
+                let stars = sample_stars(&mut rng, own);
+                events.push(StarEvent {
+                    user,
+                    item: ItemId(item),
+                    stars,
+                    time: Timestamp(time),
+                });
+            }
+        }
+        StarTrace::new(events)
+    }
+}
+
+/// Draws a star rating: in-community items skew positive, others negative.
+fn sample_stars<R: Rng + ?Sized>(rng: &mut R, own_community: bool) -> u8 {
+    let roll: f64 = rng.gen();
+    if own_community {
+        // P(5)=0.35 P(4)=0.35 P(3)=0.15 P(2)=0.10 P(1)=0.05 -> mean ~3.85
+        match roll {
+            r if r < 0.35 => 5,
+            r if r < 0.70 => 4,
+            r if r < 0.85 => 3,
+            r if r < 0.95 => 2,
+            _ => 1,
+        }
+    } else {
+        // P(5)=0.08 P(4)=0.17 P(3)=0.25 P(2)=0.25 P(1)=0.25 -> mean ~2.58
+        match roll {
+            r if r < 0.08 => 5,
+            r if r < 0.25 => 4,
+            r if r < 0.50 => 3,
+            r if r < 0.75 => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_core::{Cosine, Similarity};
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec::ML1.scaled(0.1)
+    }
+
+    #[test]
+    fn generates_exact_rating_count() {
+        let spec = small_spec();
+        let trace = TraceGenerator::new(spec, 1).generate();
+        assert_eq!(trace.len(), spec.ratings);
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let spec = small_spec();
+        let a = TraceGenerator::new(spec, 9).generate();
+        let b = TraceGenerator::new(spec, 9).generate();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(spec, 10).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_user_rates_an_item_twice() {
+        let trace = TraceGenerator::new(small_spec(), 2).generate();
+        let mut seen = HashSet::new();
+        for e in trace.iter() {
+            assert!(seen.insert((e.user, e.item)), "duplicate {:?}/{:?}", e.user, e.item);
+        }
+    }
+
+    #[test]
+    fn items_stay_in_catalogue() {
+        let spec = small_spec();
+        let trace = TraceGenerator::new(spec, 3).generate();
+        for e in trace.iter() {
+            assert!((e.item.0 as usize) < spec.items);
+            assert!((e.user.0 as usize) < spec.users);
+            assert!((1..=5).contains(&e.stars));
+            assert!(e.time.0 <= spec.period_seconds());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let spec = small_spec();
+        let trace = TraceGenerator::new(spec, 4).generate();
+        let mut counts = vec![0usize; spec.items];
+        for e in trace.iter() {
+            counts[e.item.0 as usize] += 1;
+        }
+        let head: usize = counts[..spec.items / 10].iter().sum();
+        // With Zipf ~0.9, the top decile draws far more than a tenth.
+        assert!(head > trace.len() / 4, "head share too small: {head}/{}", trace.len());
+    }
+
+    #[test]
+    fn communities_create_similarity_structure() {
+        // Same-community users must be measurably more similar than
+        // cross-community pairs — the property KNN selection relies on.
+        let spec = small_spec();
+        let generator = TraceGenerator::new(spec, 5);
+        let profiles = generator.generate().binarize().final_profiles();
+
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for (i, (ua, pa)) in profiles.iter().enumerate() {
+            if pa.liked_len() < 5 {
+                continue;
+            }
+            for (ub, pb) in profiles.iter().skip(i + 1) {
+                if pb.liked_len() < 5 {
+                    continue;
+                }
+                let s = Cosine.score(pa, pb);
+                if generator.community_of_user(*ua) == generator.community_of_user(*ub) {
+                    within.push(s);
+                } else {
+                    across.push(s);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let (w, a) = (mean(&within), mean(&across));
+        assert!(
+            w > a * 2.0,
+            "within-community similarity {w:.4} not well above across {a:.4}"
+        );
+    }
+
+    #[test]
+    fn binarized_likes_are_mostly_in_community() {
+        let spec = small_spec();
+        let generator = TraceGenerator::new(spec, 6);
+        let binary = generator.generate().binarize();
+        let mut own = 0usize;
+        let mut other = 0usize;
+        for e in binary.iter() {
+            if e.vote == hyrec_core::Vote::Like {
+                if generator.community_of_item(e.item)
+                    == generator.community_of_user(e.user)
+                {
+                    own += 1;
+                } else {
+                    other += 1;
+                }
+            }
+        }
+        assert!(own > other, "likes not community-concentrated: {own} vs {other}");
+    }
+
+    #[test]
+    fn digg_spec_generates_sparse_profiles() {
+        let spec = DatasetSpec::DIGG.scaled(0.02);
+        let trace = TraceGenerator::new(spec, 7).generate().binarize();
+        let profiles = trace.final_profiles();
+        let avg: f64 = profiles.iter().map(|(_, p)| p.exposure_len() as f64).sum::<f64>()
+            / profiles.len() as f64;
+        assert!(avg < 30.0, "Digg profiles should be small, got {avg:.1}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Dataset specifications matching Table 2 of the paper.
+
+use std::fmt;
+
+/// The shape of a synthetic dataset: cardinalities, skew and structure.
+///
+/// The four presets ([`DatasetSpec::ML1`] … [`DatasetSpec::DIGG`]) reproduce
+/// Table 2; [`DatasetSpec::scaled`] shrinks any spec for laptop-scale runs
+/// while preserving the per-user statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Stable name used in experiment output ("ML1", "Digg", …).
+    pub name: &'static str,
+    /// Number of users `N`.
+    pub users: usize,
+    /// Number of items `M`.
+    pub items: usize,
+    /// Total number of ratings `R`.
+    pub ratings: usize,
+    /// Trace period in days (ML traces span ~7 months, Digg 2 weeks).
+    pub period_days: f64,
+    /// Number of planted interest communities.
+    pub communities: usize,
+    /// Probability that a rating event draws from the user's own community
+    /// pool rather than the global catalogue.
+    pub community_affinity: f64,
+    /// Zipf skew exponent for item popularity.
+    pub zipf_exponent: f64,
+    /// Log-normal sigma for per-user activity (0 = everyone rates equally).
+    pub activity_sigma: f64,
+    /// Median length of a user's active session in days (log-normal,
+    /// sigma 1). MovieLens users rate for days-to-weeks then leave; Digg
+    /// users churn within days. This drives the staleness effects of
+    /// Figures 3-4: a departed user's KNN entry freezes.
+    pub session_days_median: f64,
+}
+
+impl DatasetSpec {
+    /// The ML1 workload of Table 2: 943 users, 1,700 items, 100,000 ratings.
+    pub const ML1: DatasetSpec = DatasetSpec {
+        name: "ML1",
+        users: 943,
+        items: 1_700,
+        ratings: 100_000,
+        period_days: 210.0,
+        communities: 16,
+        community_affinity: 0.55,
+        zipf_exponent: 0.9,
+        activity_sigma: 0.9,
+        session_days_median: 14.0,
+    };
+
+    /// The ML2 workload: 6,040 users, 4,000 items, 1,000,000 ratings.
+    pub const ML2: DatasetSpec = DatasetSpec {
+        name: "ML2",
+        users: 6_040,
+        items: 4_000,
+        ratings: 1_000_000,
+        period_days: 210.0,
+        communities: 25,
+        community_affinity: 0.7,
+        zipf_exponent: 0.9,
+        activity_sigma: 0.9,
+        session_days_median: 14.0,
+    };
+
+    /// The ML3 workload: 69,878 users, 10,000 items, 10,000,000 ratings.
+    pub const ML3: DatasetSpec = DatasetSpec {
+        name: "ML3",
+        users: 69_878,
+        items: 10_000,
+        ratings: 10_000_000,
+        period_days: 210.0,
+        communities: 50,
+        community_affinity: 0.7,
+        zipf_exponent: 0.9,
+        activity_sigma: 0.9,
+        session_days_median: 14.0,
+    };
+
+    /// The Digg workload: 59,167 users, 7,724 items, 782,807 ratings over two
+    /// weeks — much sparser profiles (avg 13 ratings/user).
+    pub const DIGG: DatasetSpec = DatasetSpec {
+        name: "Digg",
+        users: 59_167,
+        items: 7_724,
+        ratings: 782_807,
+        period_days: 14.0,
+        communities: 40,
+        community_affinity: 0.6,
+        zipf_exponent: 1.05,
+        activity_sigma: 1.1,
+        session_days_median: 2.0,
+    };
+
+    /// All four paper presets, in Table 2 order.
+    #[must_use]
+    pub fn paper_presets() -> [DatasetSpec; 4] {
+        [Self::ML1, Self::ML2, Self::ML3, Self::DIGG]
+    }
+
+    /// Average ratings per user implied by the spec (Table 2's last column).
+    #[must_use]
+    pub fn avg_ratings_per_user(&self) -> f64 {
+        self.ratings as f64 / self.users as f64
+    }
+
+    /// Returns a copy scaled by `factor` in users and ratings (items and the
+    /// per-user average are preserved so similarity structure is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not within `(0, 1]`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        DatasetSpec {
+            users: ((self.users as f64 * factor) as usize).max(2),
+            ratings: ((self.ratings as f64 * factor) as usize).max(10),
+            communities: self.communities.min(((self.users as f64 * factor) as usize).max(2)),
+            ..*self
+        }
+    }
+
+    /// Trace period in seconds.
+    #[must_use]
+    pub fn period_seconds(&self) -> u64 {
+        (self.period_days * 86_400.0) as u64
+    }
+}
+
+impl fmt::Display for DatasetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} users, {} items, {} ratings, {:.0} avg)",
+            self.name,
+            self.users,
+            self.items,
+            self.ratings,
+            self.avg_ratings_per_user()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_2() {
+        assert_eq!(DatasetSpec::ML1.users, 943);
+        assert_eq!(DatasetSpec::ML1.items, 1_700);
+        assert_eq!(DatasetSpec::ML1.ratings, 100_000);
+        assert!((DatasetSpec::ML1.avg_ratings_per_user() - 106.0).abs() < 1.0);
+
+        assert_eq!(DatasetSpec::ML2.users, 6_040);
+        assert!((DatasetSpec::ML2.avg_ratings_per_user() - 166.0).abs() < 1.0);
+
+        assert_eq!(DatasetSpec::ML3.users, 69_878);
+        assert!((DatasetSpec::ML3.avg_ratings_per_user() - 143.0).abs() < 1.0);
+
+        assert_eq!(DatasetSpec::DIGG.users, 59_167);
+        assert_eq!(DatasetSpec::DIGG.items, 7_724);
+        assert!((DatasetSpec::DIGG.avg_ratings_per_user() - 13.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn scaling_preserves_per_user_average() {
+        let scaled = DatasetSpec::ML2.scaled(0.1);
+        let orig_avg = DatasetSpec::ML2.avg_ratings_per_user();
+        assert!((scaled.avg_ratings_per_user() - orig_avg).abs() / orig_avg < 0.02);
+        assert_eq!(scaled.items, DatasetSpec::ML2.items);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaling_rejects_bad_factor() {
+        let _ = DatasetSpec::ML1.scaled(0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = DatasetSpec::ML1.to_string();
+        assert!(s.contains("ML1") && s.contains("943"));
+    }
+}

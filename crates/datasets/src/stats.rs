@@ -1,0 +1,144 @@
+//! Trace statistics — the numbers Table 2 of the paper reports.
+
+use crate::trace::Trace;
+use hyrec_core::Vote;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Summary statistics of a binary trace.
+///
+/// ```
+/// use hyrec_datasets::{DatasetSpec, TraceGenerator, TraceStats};
+/// let trace = TraceGenerator::new(DatasetSpec::ML1.scaled(0.05), 1)
+///     .generate()
+///     .binarize();
+/// let stats = TraceStats::compute(&trace);
+/// assert_eq!(stats.ratings, trace.len());
+/// assert!(stats.avg_ratings_per_user > 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Distinct users observed.
+    pub users: usize,
+    /// Distinct items observed.
+    pub items: usize,
+    /// Total rating events.
+    pub ratings: usize,
+    /// Mean ratings per observed user (Table 2's "Avg ratings").
+    pub avg_ratings_per_user: f64,
+    /// Fraction of ratings that are likes after binarization.
+    pub like_fraction: f64,
+    /// Trace duration in days.
+    pub duration_days: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace.
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        let mut users = HashSet::new();
+        let mut items = HashSet::new();
+        let mut likes = 0usize;
+        for e in trace.iter() {
+            users.insert(e.user);
+            items.insert(e.item);
+            if e.vote == Vote::Like {
+                likes += 1;
+            }
+        }
+        let ratings = trace.len();
+        let user_count = users.len();
+        Self {
+            users: user_count,
+            items: items.len(),
+            ratings,
+            avg_ratings_per_user: if user_count == 0 {
+                0.0
+            } else {
+                ratings as f64 / user_count as f64
+            },
+            like_fraction: if ratings == 0 { 0.0 } else { likes as f64 / ratings as f64 },
+            duration_days: trace.horizon().days(),
+        }
+    }
+
+    /// Formats the stats as a Table 2 row: `name | users | items | ratings |
+    /// avg`.
+    #[must_use]
+    pub fn table2_row(&self, name: &str) -> String {
+        format!(
+            "{name:<6} {users:>8} {items:>8} {ratings:>12} {avg:>6.0}",
+            users = self.users,
+            items = self.items,
+            ratings = self.ratings,
+            avg = self.avg_ratings_per_user,
+        )
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} users, {} items, {} ratings ({:.0} avg/user, {:.0}% likes, {:.0} days)",
+            self.users,
+            self.items,
+            self.ratings,
+            self.avg_ratings_per_user,
+            self.like_fraction * 100.0,
+            self.duration_days
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use crate::TraceGenerator;
+
+    #[test]
+    fn stats_match_generated_spec() {
+        let spec = DatasetSpec::ML1.scaled(0.2);
+        let trace = TraceGenerator::new(spec, 11).generate().binarize();
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.ratings, spec.ratings);
+        // Nearly all users should appear (some may get a zero budget).
+        assert!(stats.users as f64 > spec.users as f64 * 0.8);
+        // Average within 25% of the spec's target.
+        let target = spec.avg_ratings_per_user();
+        assert!(
+            (stats.avg_ratings_per_user - target).abs() / target < 0.25,
+            "avg {} vs target {}",
+            stats.avg_ratings_per_user,
+            target
+        );
+        // Binarization yields a sensible like share.
+        assert!(stats.like_fraction > 0.2 && stats.like_fraction < 0.8);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let stats = TraceStats::compute(&Trace::default());
+        assert_eq!(stats.users, 0);
+        assert_eq!(stats.avg_ratings_per_user, 0.0);
+        assert_eq!(stats.like_fraction, 0.0);
+    }
+
+    #[test]
+    fn table2_row_formats() {
+        let spec = DatasetSpec::ML1.scaled(0.05);
+        let trace = TraceGenerator::new(spec, 1).generate().binarize();
+        let row = TraceStats::compute(&trace).table2_row("ML1");
+        assert!(row.starts_with("ML1"));
+        assert!(row.contains(&format!("{}", spec.ratings)));
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let spec = DatasetSpec::ML1.scaled(0.05);
+        let trace = TraceGenerator::new(spec, 1).generate().binarize();
+        let text = TraceStats::compute(&trace).to_string();
+        assert!(text.contains("users") && text.contains("ratings"));
+    }
+}

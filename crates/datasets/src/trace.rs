@@ -1,0 +1,295 @@
+//! Trace types: timestamped rating events, star→binary projection, splits.
+
+use hyrec_core::{ItemId, Profile, UserId, Vote};
+use std::collections::HashMap;
+
+/// Seconds since the start of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp in whole days (Figure 3's x-axis unit).
+    #[must_use]
+    pub fn days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// The timestamp in whole minutes (Figure 5's x-axis unit).
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Builds a timestamp from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Timestamp((days * 86_400.0) as u64)
+    }
+}
+
+/// A raw star-rating event (1–5 stars), as MovieLens records them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarEvent {
+    /// Who rated.
+    pub user: UserId,
+    /// What was rated.
+    pub item: ItemId,
+    /// 1–5 stars.
+    pub stars: u8,
+    /// When.
+    pub time: Timestamp,
+}
+
+/// A binary rating event after the paper's projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Who rated.
+    pub user: UserId,
+    /// What was rated.
+    pub item: ItemId,
+    /// Liked or disliked.
+    pub vote: Vote,
+    /// When.
+    pub time: Timestamp,
+}
+
+/// A chronologically ordered star-rating trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StarTrace {
+    events: Vec<StarEvent>,
+}
+
+impl StarTrace {
+    /// Wraps events, sorting them chronologically (stable on ties).
+    #[must_use]
+    pub fn new(mut events: Vec<StarEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Self { events }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates events in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &StarEvent> {
+        self.events.iter()
+    }
+
+    /// Applies the paper's binary projection (Section 5.1): an item is
+    /// *liked* iff its star rating is strictly above the user's mean star
+    /// rating across all their items, *disliked* otherwise.
+    #[must_use]
+    pub fn binarize(&self) -> Trace {
+        let mut sums: HashMap<UserId, (u64, u64)> = HashMap::new();
+        for e in &self.events {
+            let entry = sums.entry(e.user).or_insert((0, 0));
+            entry.0 += u64::from(e.stars);
+            entry.1 += 1;
+        }
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let (sum, count) = sums[&e.user];
+                let mean = sum as f64 / count as f64;
+                TraceEvent {
+                    user: e.user,
+                    item: e.item,
+                    vote: if f64::from(e.stars) > mean { Vote::Like } else { Vote::Dislike },
+                    time: e.time,
+                }
+            })
+            .collect();
+        Trace { events }
+    }
+}
+
+/// A chronologically ordered binary rating trace — the replay input for
+/// every experiment in Section 5.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wraps events, sorting them chronologically (stable on ties).
+    #[must_use]
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.time);
+        Self { events }
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates events in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events as a slice (time-ordered).
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Timestamp of the last event (the trace horizon).
+    #[must_use]
+    pub fn horizon(&self) -> Timestamp {
+        self.events.last().map_or(Timestamp(0), |e| e.time)
+    }
+
+    /// The distinct users appearing in the trace.
+    #[must_use]
+    pub fn user_ids(&self) -> Vec<UserId> {
+        let mut ids: Vec<UserId> = self.events.iter().map(|e| e.user).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Splits chronologically: the first `fraction` of events form the
+    /// training trace, the rest the test trace (Section 5.1: "the training
+    /// set contains the first 80% of the ratings").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn split_chronological(&self, fraction: f64) -> (Trace, Trace) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let cut = (self.events.len() as f64 * fraction) as usize;
+        (
+            Trace { events: self.events[..cut].to_vec() },
+            Trace { events: self.events[cut..].to_vec() },
+        )
+    }
+
+    /// Materializes the final profiles implied by the whole trace — the
+    /// input shape for the offline KNN back-ends (Figure 7).
+    #[must_use]
+    pub fn final_profiles(&self) -> Vec<(UserId, Profile)> {
+        let mut profiles: HashMap<UserId, Profile> = HashMap::new();
+        for e in &self.events {
+            profiles.entry(e.user).or_default().record(e.item, e.vote);
+        }
+        let mut out: Vec<(UserId, Profile)> = profiles.into_iter().collect();
+        out.sort_by_key(|(u, _)| *u);
+        out
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u32, item: u32, vote: Vote, t: u64) -> TraceEvent {
+        TraceEvent { user: UserId(user), item: ItemId(item), vote, time: Timestamp(t) }
+    }
+
+    #[test]
+    fn traces_sort_chronologically() {
+        let trace = Trace::new(vec![
+            ev(1, 1, Vote::Like, 50),
+            ev(2, 2, Vote::Like, 10),
+            ev(3, 3, Vote::Like, 30),
+        ]);
+        let times: Vec<u64> = trace.iter().map(|e| e.time.0).collect();
+        assert_eq!(times, vec![10, 30, 50]);
+        assert_eq!(trace.horizon(), Timestamp(50));
+    }
+
+    #[test]
+    fn binarize_uses_per_user_mean() {
+        // User 1 rates 5,3,1 (mean 3): only the 5 becomes a like.
+        // User 2 rates 4,4 (mean 4): nothing is strictly above the mean.
+        let star = StarTrace::new(vec![
+            StarEvent { user: UserId(1), item: ItemId(1), stars: 5, time: Timestamp(0) },
+            StarEvent { user: UserId(1), item: ItemId(2), stars: 3, time: Timestamp(1) },
+            StarEvent { user: UserId(1), item: ItemId(3), stars: 1, time: Timestamp(2) },
+            StarEvent { user: UserId(2), item: ItemId(1), stars: 4, time: Timestamp(3) },
+            StarEvent { user: UserId(2), item: ItemId(2), stars: 4, time: Timestamp(4) },
+        ]);
+        let binary = star.binarize();
+        let votes: Vec<Vote> = binary.iter().map(|e| e.vote).collect();
+        assert_eq!(
+            votes,
+            vec![Vote::Like, Vote::Dislike, Vote::Dislike, Vote::Dislike, Vote::Dislike]
+        );
+    }
+
+    #[test]
+    fn split_is_chronological_and_exact() {
+        let trace: Trace = (0..100u64).map(|t| ev(1, t as u32, Vote::Like, t)).collect();
+        let (train, test) = trace.split_chronological(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert!(train.horizon() < test.iter().next().unwrap().time);
+    }
+
+    #[test]
+    fn split_edge_fractions() {
+        let trace: Trace = (0..10u64).map(|t| ev(1, t as u32, Vote::Like, t)).collect();
+        let (train, test) = trace.split_chronological(0.0);
+        assert_eq!((train.len(), test.len()), (0, 10));
+        let (train, test) = trace.split_chronological(1.0);
+        assert_eq!((train.len(), test.len()), (10, 0));
+    }
+
+    #[test]
+    fn final_profiles_accumulate_votes() {
+        let trace = Trace::new(vec![
+            ev(1, 10, Vote::Like, 0),
+            ev(1, 11, Vote::Dislike, 1),
+            ev(2, 10, Vote::Like, 2),
+            ev(1, 11, Vote::Like, 3), // flips to like
+        ]);
+        let profiles = trace.final_profiles();
+        assert_eq!(profiles.len(), 2);
+        let (u1, p1) = &profiles[0];
+        assert_eq!(*u1, UserId(1));
+        assert_eq!(p1.liked_len(), 2);
+    }
+
+    #[test]
+    fn user_ids_are_deduplicated() {
+        let trace = Trace::new(vec![
+            ev(5, 1, Vote::Like, 0),
+            ev(5, 2, Vote::Like, 1),
+            ev(3, 1, Vote::Like, 2),
+        ]);
+        assert_eq!(trace.user_ids(), vec![UserId(3), UserId(5)]);
+    }
+
+    #[test]
+    fn timestamp_units() {
+        let t = Timestamp::from_days(2.0);
+        assert_eq!(t.0, 172_800);
+        assert!((t.days() - 2.0).abs() < 1e-9);
+        assert!((t.minutes() - 2_880.0).abs() < 1e-9);
+    }
+}

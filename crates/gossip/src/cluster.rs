@@ -1,0 +1,201 @@
+//! The clustering layer (Vicinity / Gossple-style).
+//!
+//! Each node keeps the `k` peers whose profiles are most similar to its own,
+//! *with their profiles* — in the decentralized architecture "each
+//! \[user\] maintains her own profile, her local KNN, and profile tables"
+//! (Section 2.3). Per cycle a node exchanges its cluster view with one
+//! neighbour and re-selects the best `k` among everything it has seen,
+//! mirroring Algorithm 1 run peer-to-peer.
+
+use hyrec_core::{Cosine, Profile, Similarity, UserId};
+
+/// A clustering descriptor: peer, profile copy, and cached similarity to
+/// the view's owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEntry {
+    /// The peer this descriptor describes.
+    pub peer: UserId,
+    /// Snapshot of the peer's profile (travels in gossip messages).
+    pub profile: Profile,
+    /// Cached similarity to the view owner's profile.
+    pub similarity: f64,
+    /// Gossip age: 0 when the owner emitted the descriptor, +1 per relay
+    /// hop and per cycle held. Fresher (lower-age) snapshots win merges —
+    /// without this, stale third-party relays would overwrite fresh
+    /// profiles forever.
+    pub age: u32,
+}
+
+/// The bounded most-similar-peers view of one node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterView {
+    entries: Vec<ClusterEntry>,
+    capacity: usize,
+}
+
+impl ClusterView {
+    /// Creates an empty view keeping at most `capacity` peers.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { entries: Vec::new(), capacity }
+    }
+
+    /// Current entries, most similar first.
+    #[must_use]
+    pub fn entries(&self) -> &[ClusterEntry] {
+        &self.entries
+    }
+
+    /// Number of peers held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mean cached similarity — the node's local view similarity.
+    #[must_use]
+    pub fn view_similarity(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.similarity).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// Merges candidate descriptors: recomputes similarity against
+    /// `my_profile`, deduplicates by peer (keeping the *freshest* profile
+    /// by descriptor age), and retains the top `capacity` most similar.
+    pub fn merge<'a>(
+        &mut self,
+        me: UserId,
+        my_profile: &Profile,
+        candidates: impl IntoIterator<Item = (UserId, &'a Profile, u32)>,
+    ) {
+        for (peer, profile, age) in candidates {
+            if peer == me {
+                continue;
+            }
+            match self.entries.iter_mut().find(|e| e.peer == peer) {
+                Some(existing) => {
+                    if age <= existing.age {
+                        existing.profile = profile.clone();
+                        existing.similarity = Cosine.score(my_profile, profile);
+                        existing.age = age;
+                    }
+                }
+                None => self.entries.push(ClusterEntry {
+                    peer,
+                    profile: profile.clone(),
+                    similarity: Cosine.score(my_profile, profile),
+                    age,
+                }),
+            }
+        }
+        self.entries.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Ages every stored descriptor by one cycle, so a newer snapshot from
+    /// the owner (age 0) or a short relay chain eventually supersedes it.
+    pub fn age_all(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// Re-scores every entry after the owner's profile changed.
+    pub fn rescore(&mut self, my_profile: &Profile) {
+        for e in &mut self.entries {
+            e.similarity = Cosine.score(my_profile, &e.profile);
+        }
+        self.entries.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(items: &[u32]) -> Profile {
+        Profile::from_liked(items.to_vec())
+    }
+
+    #[test]
+    fn merge_keeps_most_similar() {
+        let me = profile(&[1, 2, 3, 4]);
+        let mut view = ClusterView::new(2);
+        let close = profile(&[1, 2, 3]);
+        let mid = profile(&[1, 9]);
+        let far = profile(&[100]);
+        view.merge(
+            UserId(0),
+            &me,
+            [(UserId(1), &close, 0), (UserId(2), &far, 0), (UserId(3), &mid, 0)],
+        );
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.entries()[0].peer, UserId(1));
+        assert_eq!(view.entries()[1].peer, UserId(3));
+    }
+
+    #[test]
+    fn merge_excludes_self_and_updates_duplicates() {
+        let me = profile(&[1, 2]);
+        let mut view = ClusterView::new(3);
+        let old = profile(&[9]);
+        view.merge(UserId(0), &me, [(UserId(1), &old, 0), (UserId(0), &me, 0)]);
+        assert!(!view.entries().iter().any(|e| e.peer == UserId(0)));
+        assert_eq!(view.entries()[0].similarity, 0.0);
+
+        let fresh = profile(&[1, 2]);
+        view.merge(UserId(0), &me, [(UserId(1), &fresh, 0)]);
+        assert_eq!(view.len(), 1);
+        assert!((view.entries()[0].similarity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_snapshots_never_overwrite_fresh_ones() {
+        let me = profile(&[1, 2]);
+        let mut view = ClusterView::new(3);
+        let fresh = profile(&[1, 2]);
+        view.merge(UserId(0), &me, [(UserId(1), &fresh, 0)]);
+        // A relayed, older snapshot (higher age) must be rejected.
+        let stale = profile(&[9]);
+        view.merge(UserId(0), &me, [(UserId(1), &stale, 3)]);
+        assert!((view.entries()[0].similarity - 1.0).abs() < 1e-12);
+        // After aging, a newer owner-emitted descriptor (age 0) wins.
+        view.age_all();
+        view.merge(UserId(0), &me, [(UserId(1), &stale, 0)]);
+        assert_eq!(view.entries()[0].similarity, 0.0);
+    }
+
+    #[test]
+    fn rescore_after_profile_change() {
+        let mut me = profile(&[1, 2]);
+        let mut view = ClusterView::new(2);
+        let other = profile(&[1, 2]);
+        view.merge(UserId(0), &me, [(UserId(1), &other, 0)]);
+        assert!((view.view_similarity() - 1.0).abs() < 1e-12);
+
+        me = profile(&[50, 51]);
+        view.rescore(&me);
+        assert_eq!(view.view_similarity(), 0.0);
+    }
+
+    #[test]
+    fn empty_view_similarity_is_zero() {
+        assert_eq!(ClusterView::new(3).view_similarity(), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hyrec-gossip
+//!
+//! The **fully decentralized baseline** of Section 2.3 / 5.6: every user
+//! machine is a peer in a gossip overlay and computes its own KNN and
+//! recommendations with no server at all.
+//!
+//! Two layered protocols, as in Gossple/WhatsUp (the systems the paper
+//! compares against):
+//!
+//! * [`rps`] — *random peer sampling* (Jelasity et al.): each node keeps a
+//!   small partial view refreshed by periodic push-pull shuffles, yielding a
+//!   uniform stream of random peers.
+//! * [`cluster`] — *similarity clustering* (Voulgaris & van Steen's
+//!   Vicinity): each node keeps the `k` most similar peers met so far,
+//!   gossiping candidate descriptors (profile included) with neighbours.
+//!
+//! The crate exists to reproduce two paper results:
+//!
+//! 1. Convergence "in a few cycles (e.g. 10 to 20 in a 100,000 node
+//!    system)" — checked by the tests and the `p2p_vs_hybrid` example.
+//! 2. The **bandwidth gap**: "a single user machine transmits around 24 MB
+//!    with the P2P approach, and only 8 kB with HyRec" (Digg workload) —
+//!    [`network::GossipNetwork`] meters every byte a node sends.
+//!
+//! ```
+//! use hyrec_core::{Profile, UserId};
+//! use hyrec_gossip::{GossipConfig, GossipNetwork};
+//!
+//! let profiles: Vec<(UserId, Profile)> = (0..40u32)
+//!     .map(|u| (UserId(u), Profile::from_liked([u % 4, 100 + u % 4, 200 + u % 4])))
+//!     .collect();
+//! let config = GossipConfig { k: 5, ..GossipConfig::default() };
+//! let mut network = GossipNetwork::new(profiles, config);
+//! network.run(15);
+//! assert!(network.average_view_similarity() > 0.9);
+//! assert!(network.total_bytes_sent() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod network;
+pub mod rps;
+pub mod view;
+
+pub use network::{BandwidthReport, GossipConfig, GossipNetwork};

@@ -1,0 +1,136 @@
+//! Random peer sampling (Jelasity et al., "Gossip-based peer sampling").
+//!
+//! Push-pull shuffle: the initiator picks its *oldest* peer, both sides send
+//! a random half of their view plus a fresh self-descriptor, and both merge
+//! keeping the youngest descriptors. The emergent overlay approximates a
+//! uniform random graph — the substrate the clustering layer draws its
+//! random candidates from (and the P2P analogue of HyRec's "k random
+//! users" leg).
+
+use crate::view::{PartialView, ViewEntry};
+use hyrec_core::UserId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Number of descriptors exchanged per shuffle (half a typical view).
+pub fn shuffle_len(view_capacity: usize) -> usize {
+    (view_capacity / 2).max(1)
+}
+
+/// Draws the descriptors one side sends in a shuffle: a random half of the
+/// view plus a fresh self-descriptor.
+pub fn shuffle_payload(
+    me: UserId,
+    view: &PartialView,
+    capacity: usize,
+    rng: &mut StdRng,
+) -> Vec<ViewEntry> {
+    let mut entries: Vec<ViewEntry> = view.entries().to_vec();
+    entries.shuffle(rng);
+    entries.truncate(shuffle_len(capacity));
+    entries.push(ViewEntry { peer: me, age: 0 });
+    entries
+}
+
+/// Applies one completed push-pull shuffle to both endpoints.
+///
+/// `a_view`/`b_view` are merged with the payload received from the other
+/// side; both views age afterwards (one gossip cycle elapsed for these two
+/// nodes' entries).
+pub fn apply_shuffle(
+    a: UserId,
+    a_view: &mut PartialView,
+    b: UserId,
+    b_view: &mut PartialView,
+    capacity: usize,
+    rng: &mut StdRng,
+) {
+    let from_a = shuffle_payload(a, a_view, capacity, rng);
+    let from_b = shuffle_payload(b, b_view, capacity, rng);
+    a_view.merge(a, from_b);
+    b_view.merge(b, from_a);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_payload_contains_self_fresh() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut view = PartialView::new(6);
+        view.merge(UserId(0), (1..=6).map(|p| ViewEntry { peer: UserId(p), age: p }));
+        let payload = shuffle_payload(UserId(0), &view, 6, &mut rng);
+        let me = payload.iter().find(|e| e.peer == UserId(0)).unwrap();
+        assert_eq!(me.age, 0);
+        assert_eq!(payload.len(), shuffle_len(6) + 1);
+    }
+
+    #[test]
+    fn apply_shuffle_cross_pollinates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a_view = PartialView::new(4);
+        let mut b_view = PartialView::new(4);
+        a_view.merge(UserId(1), [ViewEntry { peer: UserId(10), age: 0 }]);
+        b_view.merge(UserId(2), [ViewEntry { peer: UserId(20), age: 0 }]);
+        apply_shuffle(UserId(1), &mut a_view, UserId(2), &mut b_view, 4, &mut rng);
+        // Each side now knows the other.
+        assert!(a_view.contains(UserId(2)));
+        assert!(b_view.contains(UserId(1)));
+    }
+
+    #[test]
+    fn repeated_shuffles_spread_knowledge() {
+        // A line of nodes where node i initially knows only i+1 becomes
+        // well-mixed after enough pairwise shuffles.
+        let n = 20u32;
+        let capacity = 6;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut views: Vec<PartialView> = (0..n)
+            .map(|i| {
+                let mut v = PartialView::new(capacity);
+                v.merge(
+                    UserId(i),
+                    [ViewEntry { peer: UserId((i + 1) % n), age: 0 }],
+                );
+                v
+            })
+            .collect();
+
+        for _ in 0..50 {
+            for i in 0..n as usize {
+                for v in views.iter_mut() {
+                    v.age_all();
+                }
+                let partner = match views[i].oldest() {
+                    Some(e) => e.peer.0 as usize,
+                    None => continue,
+                };
+                if partner == i {
+                    continue;
+                }
+                let (lo, hi) = (i.min(partner), i.max(partner));
+                let (left, right) = views.split_at_mut(hi);
+                let (a_view, b_view) = (&mut left[lo], &mut right[0]);
+                apply_shuffle(
+                    UserId(lo as u32),
+                    a_view,
+                    UserId(hi as u32),
+                    b_view,
+                    capacity,
+                    &mut rng,
+                );
+            }
+        }
+        // Every view is full and references a diverse set of peers.
+        let mut seen = std::collections::HashSet::new();
+        for v in &views {
+            assert_eq!(v.len(), capacity);
+            for e in v.entries() {
+                seen.insert(e.peer);
+            }
+        }
+        assert!(seen.len() as u32 >= n - 2, "knowledge failed to spread: {}", seen.len());
+    }
+}

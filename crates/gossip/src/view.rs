@@ -1,0 +1,142 @@
+//! Partial views: the bounded peer lists gossip protocols maintain.
+
+use hyrec_core::UserId;
+
+/// A peer descriptor in a random-peer-sampling view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// The peer.
+    pub peer: UserId,
+    /// Gossip age in cycles (older descriptors are staler).
+    pub age: u32,
+}
+
+/// A bounded partial view with age-based replacement (Jelasity-style).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialView {
+    entries: Vec<ViewEntry>,
+    capacity: usize,
+}
+
+impl PartialView {
+    /// Creates an empty view bounded to `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Current entries, unordered.
+    #[must_use]
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Number of peers in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the view holds no peer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `peer` is present.
+    #[must_use]
+    pub fn contains(&self, peer: UserId) -> bool {
+        self.entries.iter().any(|e| e.peer == peer)
+    }
+
+    /// Ages every descriptor by one cycle.
+    pub fn age_all(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// The oldest peer (the exchange partner choice of the RPS protocol).
+    #[must_use]
+    pub fn oldest(&self) -> Option<ViewEntry> {
+        self.entries.iter().copied().max_by_key(|e| e.age)
+    }
+
+    /// Removes and returns the entry for `peer`, if present.
+    pub fn remove(&mut self, peer: UserId) -> Option<ViewEntry> {
+        let idx = self.entries.iter().position(|e| e.peer == peer)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Merges descriptors: keeps the youngest copy of each peer, never
+    /// stores `me`, then truncates to capacity by dropping the oldest.
+    pub fn merge(&mut self, me: UserId, incoming: impl IntoIterator<Item = ViewEntry>) {
+        for entry in incoming {
+            if entry.peer == me {
+                continue;
+            }
+            match self.entries.iter_mut().find(|e| e.peer == entry.peer) {
+                Some(existing) => existing.age = existing.age.min(entry.age),
+                None => self.entries.push(entry),
+            }
+        }
+        if self.entries.len() > self.capacity {
+            self.entries.sort_by_key(|e| e.age); // youngest first
+            self.entries.truncate(self.capacity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(peer: u32, age: u32) -> ViewEntry {
+        ViewEntry { peer: UserId(peer), age }
+    }
+
+    #[test]
+    fn merge_keeps_youngest_duplicate() {
+        let mut view = PartialView::new(4);
+        view.merge(UserId(0), [entry(1, 5), entry(1, 2), entry(2, 0)]);
+        assert_eq!(view.len(), 2);
+        let e1 = view.entries().iter().find(|e| e.peer == UserId(1)).unwrap();
+        assert_eq!(e1.age, 2);
+    }
+
+    #[test]
+    fn merge_never_stores_self() {
+        let mut view = PartialView::new(4);
+        view.merge(UserId(7), [entry(7, 0), entry(1, 0)]);
+        assert!(!view.contains(UserId(7)));
+        assert!(view.contains(UserId(1)));
+    }
+
+    #[test]
+    fn merge_truncates_oldest_beyond_capacity() {
+        let mut view = PartialView::new(2);
+        view.merge(UserId(0), [entry(1, 9), entry(2, 1), entry(3, 5)]);
+        assert_eq!(view.len(), 2);
+        assert!(view.contains(UserId(2)));
+        assert!(view.contains(UserId(3)));
+        assert!(!view.contains(UserId(1)), "oldest must be dropped");
+    }
+
+    #[test]
+    fn oldest_and_aging() {
+        let mut view = PartialView::new(4);
+        view.merge(UserId(0), [entry(1, 0), entry(2, 3)]);
+        assert_eq!(view.oldest().unwrap().peer, UserId(2));
+        view.age_all();
+        assert_eq!(view.oldest().unwrap().age, 4);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut view = PartialView::new(4);
+        view.merge(UserId(0), [entry(1, 0)]);
+        assert_eq!(view.remove(UserId(1)).unwrap().peer, UserId(1));
+        assert!(view.remove(UserId(1)).is_none());
+        assert!(view.is_empty());
+    }
+}

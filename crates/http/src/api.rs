@@ -1,0 +1,207 @@
+//! The HyRec web API (Table 1 of the paper) mounted on the HTTP stack.
+//!
+//! | Call | Meaning |
+//! |------|---------|
+//! | `GET /online/?uid=<uid>` | Client request: returns the gzipped JSON personalization job |
+//! | `GET /neighbors/?uid=<uid>&id0=<fid0>&sim0=…&id1=…` | Update KNN selection |
+//! | `POST /neighbors/` (gzipped [`KnnUpdate`] body) | Same update, message form |
+//! | `` GET /rate/?uid=&item=&like=0|1 `` | Record a rating (profile update) |
+//!
+//! The `/online` + `/neighbors` pair is verbatim from the paper; `/rate` is
+//! the profile-update entry point the paper folds into "the server first
+//! updates u's profile".
+
+use crate::request::Request;
+use crate::response::Response;
+use crate::router::Router;
+use hyrec_core::{ItemId, Neighbor, UserId, Vote};
+use hyrec_server::HyRecServer;
+use hyrec_wire::KnnUpdate;
+use std::sync::Arc;
+
+/// Builds the HyRec API router around a shared server.
+#[must_use]
+pub fn hyrec_router(server: Arc<HyRecServer>) -> Router {
+    let mut router = Router::new();
+
+    // GET /online/?uid=N — the "Client request" row of Table 1.
+    let online_server = Arc::clone(&server);
+    router.get("/online/", move |req| match parse_uid(req) {
+        Ok(uid) => {
+            let job = online_server.build_job(uid);
+            Response::ok_pregzipped_json(job.encode())
+        }
+        Err(reason) => Response::bad_request(&reason),
+    });
+
+    // GET /neighbors/?uid=N&id0=..&sim0=.. — "Update KNN selection".
+    let neighbors_server = Arc::clone(&server);
+    router.get("/neighbors/", move |req| match parse_knn_query(req) {
+        Ok(update) => {
+            neighbors_server.apply_update(&update);
+            Response::ok("application/json", b"{\"ok\":true}".to_vec())
+        }
+        Err(reason) => Response::bad_request(&reason),
+    });
+
+    // POST /neighbors/ with a gzipped KnnUpdate body (our wire form).
+    let post_server = Arc::clone(&server);
+    router.post("/neighbors/", move |req| match KnnUpdate::decode(&req.body) {
+        Ok(update) => {
+            post_server.apply_update(&update);
+            Response::ok("application/json", b"{\"ok\":true}".to_vec())
+        }
+        Err(err) => Response::bad_request(&err.to_string()),
+    });
+
+    // GET /rate/?uid=N&item=I&like=0|1 — profile update.
+    let rate_server = Arc::clone(&server);
+    router.get("/rate/", move |req| {
+        let uid = match parse_uid(req) {
+            Ok(uid) => uid,
+            Err(reason) => return Response::bad_request(&reason),
+        };
+        let item = match req.query_param("item").and_then(|v| v.parse::<u32>().ok()) {
+            Some(item) => ItemId(item),
+            None => return Response::bad_request("missing or invalid `item`"),
+        };
+        let vote = match req.query_param("like") {
+            Some("1") => Vote::Like,
+            Some("0") => Vote::Dislike,
+            _ => return Response::bad_request("`like` must be 0 or 1"),
+        };
+        let changed = rate_server.record(uid, item, vote);
+        Response::ok(
+            "application/json",
+            format!("{{\"ok\":true,\"changed\":{changed}}}").into_bytes(),
+        )
+    });
+
+    router
+}
+
+fn parse_uid(req: &Request) -> Result<UserId, String> {
+    req.query_param("uid")
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(UserId)
+        .ok_or_else(|| "missing or invalid `uid`".to_owned())
+}
+
+/// Parses the Table 1 query form: `id0=..&sim0=..&id1=..&sim1=..`.
+fn parse_knn_query(req: &Request) -> Result<KnnUpdate, String> {
+    let uid = parse_uid(req)?;
+    let ids = req.indexed_params("id");
+    let sims = req.indexed_params("sim");
+    let mut neighbors = Vec::with_capacity(ids.len());
+    for (index, id) in ids.iter().enumerate() {
+        let user = id
+            .parse::<u32>()
+            .map(UserId)
+            .map_err(|_| format!("invalid id{index}"))?;
+        // Similarities are optional in the paper's GET form; default 0.
+        let similarity = match sims.get(index) {
+            Some(s) => s.parse::<f64>().map_err(|_| format!("invalid sim{index}"))?,
+            None => 0.0,
+        };
+        neighbors.push(Neighbor { user, similarity });
+    }
+    Ok(KnnUpdate { uid, neighbors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::server::HttpServer;
+    use hyrec_client::Widget;
+    use hyrec_wire::PersonalizationJob;
+
+    fn spawn_api() -> (crate::server::ServerHandle, HttpClient, Arc<HyRecServer>) {
+        let hyrec = Arc::new(
+            hyrec_server::HyRecServer::builder()
+                .k(3)
+                .r(5)
+                .anonymize_users(false)
+                .seed(5)
+                .build(),
+        );
+        for u in 0..12u32 {
+            for i in 0..5u32 {
+                hyrec.record(UserId(u), ItemId(u % 3 * 100 + i), Vote::Like);
+            }
+        }
+        let server = HttpServer::bind("127.0.0.1:0", 4).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(hyrec_router(Arc::clone(&hyrec)));
+        (handle, HttpClient::new(addr), hyrec)
+    }
+
+    #[test]
+    fn full_widget_round_trip_over_http() {
+        let (handle, client, hyrec) = spawn_api();
+
+        // 1. Client requests a personalization job.
+        let response = client.get("/online/?uid=1").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-encoding"), Some("gzip"));
+        let job = PersonalizationJob::decode(&response.body).unwrap();
+        assert_eq!(job.uid, UserId(1));
+        assert!(!job.candidates.is_empty());
+
+        // 2. Widget computes locally.
+        let out = Widget::new().run_job(&job);
+
+        // 3. Widget posts the update back (message form).
+        let response = client.post("/neighbors/", &out.update.encode()).unwrap();
+        assert_eq!(response.status, 200);
+        assert!(hyrec.knn_of(UserId(1)).is_some());
+        handle.stop();
+    }
+
+    #[test]
+    fn table1_get_form_updates_knn() {
+        let (handle, client, hyrec) = spawn_api();
+        let response = client
+            .get("/neighbors/?uid=2&id0=5&sim0=0.75&id1=8&sim1=0.5")
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let hood = hyrec.knn_of(UserId(2)).unwrap();
+        assert_eq!(hood.len(), 2);
+        assert_eq!(hood.best().unwrap().user, UserId(5));
+        handle.stop();
+    }
+
+    #[test]
+    fn rate_endpoint_updates_profiles() {
+        let (handle, client, hyrec) = spawn_api();
+        let response = client.get("/rate/?uid=50&item=777&like=1").unwrap();
+        assert_eq!(response.status, 200);
+        assert!(String::from_utf8_lossy(&response.body).contains("\"changed\":true"));
+        assert!(hyrec.profile_of(UserId(50)).unwrap().likes(ItemId(777)));
+
+        let response = client.get("/rate/?uid=50&item=777&like=0").unwrap();
+        assert_eq!(response.status, 200);
+        assert!(!hyrec.profile_of(UserId(50)).unwrap().likes(ItemId(777)));
+        handle.stop();
+    }
+
+    #[test]
+    fn bad_inputs_get_400() {
+        let (handle, client, _) = spawn_api();
+        assert_eq!(client.get("/online/").unwrap().status, 400);
+        assert_eq!(client.get("/online/?uid=abc").unwrap().status, 400);
+        assert_eq!(client.get("/neighbors/?uid=1&id0=zz").unwrap().status, 400);
+        assert_eq!(client.get("/rate/?uid=1&item=2&like=5").unwrap().status, 400);
+        assert_eq!(client.get("/rate/?uid=1").unwrap().status, 400);
+        let post = client.post("/neighbors/", b"not gzip").unwrap();
+        assert_eq!(post.status, 400);
+        handle.stop();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (handle, client, _) = spawn_api();
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        handle.stop();
+    }
+}

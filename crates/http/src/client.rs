@@ -1,0 +1,151 @@
+//! A small blocking HTTP client for tests, examples and load generation.
+
+use crate::response::Response;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Blocking HTTP/1.1 client bound to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr` with a 10 s timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, timeout: Duration::from_secs(10) }
+    }
+
+    /// Overrides the socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issues `GET <target>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on connection, I/O or parse failures.
+    pub fn get(&self, target: &str) -> Result<Response, String> {
+        self.request("GET", target, &[])
+    }
+
+    /// Issues `POST <target>` with a body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on connection, I/O or parse failures.
+    pub fn post(&self, target: &str, body: &[u8]) -> Result<Response, String> {
+        self.request("POST", target, body)
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, String> {
+        let mut stream =
+            TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| format!("timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nhost: hyrec\r\ncontent-length: {}\r\naccept-encoding: gzip\r\n\r\n",
+            body.len()
+        )
+        .map_err(|e| format!("write: {e}"))?;
+        stream.write_all(body).map_err(|e| format!("write body: {e}"))?;
+
+        parse_response(&mut stream)
+    }
+}
+
+fn parse_response<R: Read>(stream: R) -> Result<Response, String> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status: {e}"))?;
+    let mut parts = status_line.trim_end().split_whitespace();
+    let version = parts.next().ok_or("empty response")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad version {version}"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or("missing status code")?
+        .parse()
+        .map_err(|_| "non-numeric status".to_owned())?;
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+    }
+
+    let body = match headers.get("content-length") {
+        Some(len) => {
+            let len: usize = len.parse().map_err(|_| "bad content-length".to_owned())?;
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader
+                .read_to_end(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+            body
+        }
+    };
+    Ok(Response { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_response() {
+        let raw = "HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 2\r\n\r\nhi";
+        let response = parse_response(raw.as_bytes()).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-type"), Some("text/plain"));
+        assert_eq!(response.body, b"hi");
+    }
+
+    #[test]
+    fn parses_response_without_length() {
+        let raw = "HTTP/1.1 404 Not Found\r\n\r\ngone";
+        let response = parse_response(raw.as_bytes()).unwrap();
+        assert_eq!(response.status, 404);
+        assert_eq!(response.body, b"gone");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response("not http".as_bytes()).is_err());
+        assert!(parse_response("HTTP/1.1 abc\r\n\r\n".as_bytes()).is_err());
+        assert!(parse_response("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn connect_failure_is_an_error() {
+        // Port 1 on localhost is almost certainly closed.
+        let client = HttpClient::new("127.0.0.1:1".parse().unwrap())
+            .with_timeout(Duration::from_millis(200));
+        assert!(client.get("/x").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # hyrec-http
+//!
+//! A minimal HTTP/1.1 stack over `std::net`, written from scratch for the
+//! HyRec reproduction — the stand-in for the paper's J2EE servlets + Jetty
+//! (Section 4.1).
+//!
+//! * [`threadpool`] — fixed-size worker pool (the servlet container's
+//!   request threads; its size is the knob behind Figure 9's concurrency
+//!   experiment).
+//! * [`request`] / [`response`] — HTTP parsing and serialization with
+//!   `Content-Encoding: gzip` handled by our own `hyrec-wire` codec.
+//! * [`router`] — path-prefix routing.
+//! * [`server`] — the accept loop.
+//! * [`client`] — a small blocking client used by load generators and
+//!   examples.
+//! * [`api`] — the HyRec web API of Table 1:
+//!   `GET /online/?uid=<uid>` returns a gzipped personalization job;
+//!   `GET /neighbors/?uid=<uid>&id0=…&sim0=…` records a KNN update.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hyrec_http::{api, server::HttpServer};
+//! use hyrec_server::HyRecServer;
+//!
+//! let hyrec = Arc::new(HyRecServer::new());
+//! let server = HttpServer::bind("127.0.0.1:0", 4)?;
+//! let addr = server.local_addr();
+//! server.serve(api::hyrec_router(hyrec));
+//! println!("HyRec API listening on http://{addr}");
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod request;
+pub mod response;
+pub mod router;
+pub mod server;
+pub mod threadpool;
+
+pub use client::HttpClient;
+pub use request::Request;
+pub use response::Response;
+pub use router::Router;
+pub use server::HttpServer;

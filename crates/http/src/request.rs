@@ -1,0 +1,249 @@
+//! HTTP/1.1 request parsing.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+/// Maximum accepted header block size (DoS guard).
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Maximum accepted body size (DoS guard).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercased.
+    pub method: String,
+    /// Path portion of the target, percent-decoding *not* applied (the
+    /// HyRec API uses plain ASCII ids only).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header map, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes (already length-delimited by `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All query values for keys of the form `prefix0`, `prefix1`, … in
+    /// index order — the shape of the `/neighbors/?id0=…&id1=…` call in
+    /// Table 1 of the paper.
+    #[must_use]
+    pub fn indexed_params(&self, prefix: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut index = 0usize;
+        loop {
+            let key = format!("{prefix}{index}");
+            match self.query_param(&key) {
+                Some(v) => out.push(v),
+                None => break,
+            }
+            index += 1;
+        }
+        out
+    }
+
+    /// Header value (name case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Parses one request from a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on malformed or oversized input (the
+    /// server maps it to `400 Bad Request`).
+    pub fn parse<R: Read>(stream: R) -> Result<Self, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read error: {e}"))?;
+        let line = line.trim_end();
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| "empty request line".to_owned())?
+            .to_ascii_uppercase();
+        let target = parts.next().ok_or_else(|| "missing request target".to_owned())?;
+        let version = parts.next().ok_or_else(|| "missing http version".to_owned())?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported version {version}"));
+        }
+
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), parse_query(q)),
+            None => (target.to_owned(), Vec::new()),
+        };
+
+        let mut headers = HashMap::new();
+        let mut header_bytes = 0usize;
+        loop {
+            let mut header_line = String::new();
+            reader
+                .read_line(&mut header_line)
+                .map_err(|e| format!("header read error: {e}"))?;
+            header_bytes += header_line.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err("header block too large".to_owned());
+            }
+            let header_line = header_line.trim_end();
+            if header_line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header_line.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+            }
+        }
+
+        let body = match headers.get("content-length") {
+            Some(len) => {
+                let len: usize =
+                    len.parse().map_err(|_| "invalid content-length".to_owned())?;
+                if len > MAX_BODY_BYTES {
+                    return Err("body too large".to_owned());
+                }
+                let mut body = vec![0u8; len];
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| format!("body read error: {e}"))?;
+                body
+            }
+            None => Vec::new(),
+        };
+
+        Ok(Request { method, path, query, headers, body })
+    }
+}
+
+/// Decodes `k=v&k2=v2` with percent-encoding and `+`-as-space.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Request, String> {
+        Request::parse(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse_str(
+            "GET /online/?uid=42&k=10 HTTP/1.1\r\nHost: hyrec\r\nAccept: */*\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/online/");
+        assert_eq!(req.query_param("uid"), Some("42"));
+        assert_eq!(req.query_param("k"), Some("10"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("hyrec"));
+        assert_eq!(req.header("HOST"), Some("hyrec"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_indexed_params_in_order() {
+        let req = parse_str(
+            "GET /neighbors/?uid=1&id0=7&id1=9&id2=3&sim0=0.5 HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.indexed_params("id"), vec!["7", "9", "3"]);
+        assert_eq!(req.indexed_params("sim"), vec!["0.5"]);
+        assert!(req.indexed_params("x").is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_str(
+            "POST /neighbors/ HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_decoding() {
+        let req = parse_str("GET /x?name=a%20b+c&odd=%zz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("name"), Some("a b c"));
+        // Invalid escapes pass through.
+        assert_eq!(req.query_param("odd"), Some("%zz"));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_str("").is_err());
+        assert!(parse_str("GET\r\n\r\n").is_err());
+        assert!(parse_str("GET /x\r\n\r\n").is_err());
+        assert!(parse_str("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse_str("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        assert!(parse_str("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let req = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse_str(&req).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! HTTP/1.1 response building with optional gzip content encoding.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+/// A response under construction (and, on the client side, as parsed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Header map, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Body bytes as they will appear on the wire.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with a body and content type.
+    #[must_use]
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Self {
+        let mut headers = HashMap::new();
+        headers.insert("content-type".to_owned(), content_type.to_owned());
+        Self { status: 200, headers, body }
+    }
+
+    /// A JSON `200 OK`, gzip-compressed exactly like the paper's server
+    /// ("compressed on the fly by the server using gzip", Section 4.2).
+    #[must_use]
+    pub fn ok_json_gzip(json_bytes: &[u8]) -> Self {
+        let mut response = Self::ok("application/json", hyrec_wire::gzip::compress(json_bytes));
+        response
+            .headers
+            .insert("content-encoding".to_owned(), "gzip".to_owned());
+        response
+    }
+
+    /// A pre-gzipped JSON `200 OK` (body already compressed by the caller).
+    #[must_use]
+    pub fn ok_pregzipped_json(gzipped: Vec<u8>) -> Self {
+        let mut response = Self::ok("application/json", gzipped);
+        response
+            .headers
+            .insert("content-encoding".to_owned(), "gzip".to_owned());
+        response
+    }
+
+    /// An error response with a plain-text body.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut headers = HashMap::new();
+        headers.insert("content-type".to_owned(), "text/plain".to_owned());
+        Self { status, headers, body: message.as_bytes().to_vec() }
+    }
+
+    /// `404 Not Found`.
+    #[must_use]
+    pub fn not_found() -> Self {
+        Self::error(404, "not found")
+    }
+
+    /// `400 Bad Request` with a reason.
+    #[must_use]
+    pub fn bad_request(reason: &str) -> Self {
+        Self::error(400, reason)
+    }
+
+    /// Header value (name case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// The body, transparently gunzipped when `Content-Encoding: gzip`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the gzip error message if the body is corrupt.
+    pub fn decoded_body(&self) -> Result<Vec<u8>, String> {
+        if self.header("content-encoding") == Some("gzip") {
+            hyrec_wire::gzip::decompress(&self.body).map_err(|e| e.to_string())
+        } else {
+            Ok(self.body.clone())
+        }
+    }
+
+    /// Serializes onto a stream (adds `Content-Length` and
+    /// `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying stream.
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "content-length: {}\r\n", self.body.len())?;
+        write!(stream, "connection: close\r\n\r\n")?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+
+    /// Total bytes this response occupies on the wire (status line +
+    /// headers + body) — the quantity metered in the bandwidth figures.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.write_to(&mut buf).expect("writing to Vec cannot fail");
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_json_gzip_round_trips() {
+        let body = br#"{"hello":[1,2,3]}"#.to_vec();
+        let response = Response::ok_json_gzip(&body);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-encoding"), Some("gzip"));
+        assert_eq!(response.decoded_body().unwrap(), body);
+    }
+
+    #[test]
+    fn plain_body_passthrough() {
+        let response = Response::ok("text/plain", b"hi".to_vec());
+        assert_eq!(response.decoded_body().unwrap(), b"hi");
+    }
+
+    #[test]
+    fn error_constructors() {
+        assert_eq!(Response::not_found().status, 404);
+        let bad = Response::bad_request("missing uid");
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.body, b"missing uid");
+    }
+
+    #[test]
+    fn write_to_produces_valid_http() {
+        let response = Response::ok("text/plain", b"body".to_vec());
+        let mut buf = Vec::new();
+        response.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\nbody"));
+    }
+
+    #[test]
+    fn wire_len_counts_everything() {
+        let response = Response::ok("text/plain", b"xy".to_vec());
+        assert!(response.wire_len() > 2 + 17); // body + status line at least
+    }
+
+    #[test]
+    fn corrupt_gzip_is_an_error() {
+        let mut response = Response::ok_json_gzip(b"{}");
+        response.body[12] ^= 0xFF;
+        assert!(response.decoded_body().is_err());
+    }
+}

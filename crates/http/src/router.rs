@@ -1,0 +1,136 @@
+//! Path-prefix routing.
+
+use crate::request::Request;
+use crate::response::Response;
+use std::sync::Arc;
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Longest-prefix router.
+///
+/// ```
+/// use hyrec_http::{Request, Response, Router};
+///
+/// let mut router = Router::new();
+/// router.get("/ping", |_req| Response::ok("text/plain", b"pong".to_vec()));
+/// let req = Request::parse("GET /ping HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+/// assert_eq!(router.dispatch(&req).body, b"pong");
+/// ```
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Vec<(String, String, Handler)>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let paths: Vec<&str> = self.routes.iter().map(|(_, p, _)| p.as_str()).collect();
+        f.debug_struct("Router").field("routes", &paths).finish()
+    }
+}
+
+impl Router {
+    /// An empty router (dispatches everything to 404).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a handler for `GET` requests with the given path prefix.
+    pub fn get<F>(&mut self, prefix: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route("GET", prefix, handler)
+    }
+
+    /// Registers a handler for `POST` requests with the given path prefix.
+    pub fn post<F>(&mut self, prefix: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route("POST", prefix, handler)
+    }
+
+    /// Registers a handler for an arbitrary method.
+    pub fn route<F>(&mut self, method: &str, prefix: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.routes.push((
+            method.to_ascii_uppercase(),
+            prefix.to_owned(),
+            Arc::new(handler),
+        ));
+        self
+    }
+
+    /// Dispatches a request to the longest matching prefix; `404` when
+    /// nothing matches, `405` when the path matches but the method does
+    /// not.
+    #[must_use]
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let mut best: Option<&(String, String, Handler)> = None;
+        let mut path_matched = false;
+        for route in &self.routes {
+            let (method, prefix, _) = route;
+            if request.path.starts_with(prefix.as_str()) {
+                path_matched = true;
+                if *method == request.method
+                    && best.map_or(true, |(_, b, _)| prefix.len() > b.len())
+                {
+                    best = Some(route);
+                }
+            }
+        }
+        match best {
+            Some((_, _, handler)) => handler(request),
+            None if path_matched => Response::error(405, "method not allowed"),
+            None => Response::not_found(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, target: &str) -> Request {
+        Request::parse(format!("{method} {target} HTTP/1.1\r\n\r\n").as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn dispatches_longest_prefix() {
+        let mut router = Router::new();
+        router.get("/", |_| Response::ok("text/plain", b"root".to_vec()));
+        router.get("/api/", |_| Response::ok("text/plain", b"api".to_vec()));
+        router.get("/api/deep/", |_| Response::ok("text/plain", b"deep".to_vec()));
+
+        assert_eq!(router.dispatch(&req("GET", "/x")).body, b"root");
+        assert_eq!(router.dispatch(&req("GET", "/api/online")).body, b"api");
+        assert_eq!(router.dispatch(&req("GET", "/api/deep/1")).body, b"deep");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let mut router = Router::new();
+        router.get("/only/", |_| Response::ok("text/plain", Vec::new()));
+        assert_eq!(router.dispatch(&req("GET", "/nope")).status, 404);
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let mut router = Router::new();
+        router.get("/thing", |_| Response::ok("text/plain", Vec::new()));
+        assert_eq!(router.dispatch(&req("POST", "/thing")).status, 405);
+    }
+
+    #[test]
+    fn get_and_post_coexist() {
+        let mut router = Router::new();
+        router.get("/dual", |_| Response::ok("text/plain", b"get".to_vec()));
+        router.post("/dual", |_| Response::ok("text/plain", b"post".to_vec()));
+        assert_eq!(router.dispatch(&req("GET", "/dual")).body, b"get");
+        assert_eq!(router.dispatch(&req("POST", "/dual")).body, b"post");
+    }
+}

@@ -1,0 +1,219 @@
+//! The accept loop: TCP listener + worker pool + router.
+
+use crate::request::Request;
+use crate::response::Response;
+use crate::router::Router;
+use crate::threadpool::ThreadPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// A minimal HTTP/1.1 server (connection-per-request, `Connection: close`).
+///
+/// The worker-pool size caps concurrent request handling — the knob behind
+/// the Figure 9 concurrency experiment.
+pub struct HttpServer {
+    listener: TcpListener,
+    workers: usize,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.local_addr)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Handle for stopping a running server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    requests: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// Address the server is bound to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of requests accepted so far.
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Signals shutdown and waits for the accept loop to finish.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `accept` returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl HttpServer {
+    /// Binds to `addr` (`127.0.0.1:0` for an ephemeral port) with a request
+    /// pool of `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind<A: ToSocketAddrs>(addr: A, workers: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            workers: workers.max(1),
+            local_addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts serving `router` on a background accept thread; returns a
+    /// handle for shutdown.
+    #[must_use]
+    pub fn serve(self, router: Router) -> ServerHandle {
+        let shutdown = Arc::clone(&self.shutdown);
+        let requests = Arc::clone(&self.requests);
+        let addr = self.local_addr;
+        let accept_thread = thread::spawn(move || {
+            let pool = ThreadPool::new(self.workers);
+            let router = Arc::new(router);
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                let router = Arc::clone(&router);
+                pool.execute(move || handle_connection(stream, &router));
+            }
+            pool.join();
+        });
+        ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), requests }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+    let response = match Request::parse(&mut stream) {
+        Ok(request) => router.dispatch(&request),
+        Err(reason) => Response::bad_request(&reason),
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn ping_router() -> Router {
+        let mut router = Router::new();
+        router.get("/ping", |_| Response::ok("text/plain", b"pong".to_vec()));
+        router.get("/echo", |req: &Request| {
+            let msg = req.query_param("msg").unwrap_or("").to_owned();
+            Response::ok("text/plain", msg.into_bytes())
+        });
+        router
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let server = HttpServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let client = HttpClient::new(addr);
+        let response = client.get("/ping").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"pong");
+
+        let response = client.get("/echo?msg=hello").unwrap();
+        assert_eq!(response.body, b"hello");
+
+        let response = client.get("/missing").unwrap();
+        assert_eq!(response.status, 404);
+
+        assert!(handle.request_count() >= 3);
+        handle.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = HttpServer::bind("127.0.0.1:0", 4).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut joins = Vec::new();
+        for _ in 0..16 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let response = client.get("/ping").unwrap();
+                assert_eq!(response.status, 200);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = HttpServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+        handle.stop();
+    }
+
+    #[test]
+    fn stop_terminates_accept_loop() {
+        let server = HttpServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+        handle.stop();
+        // After stop, connections are refused or reset — either way no pong.
+        let client = HttpClient::new(addr);
+        assert!(client.get("/ping").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! A fixed-size thread pool for request handling.
+//!
+//! Deliberately simple: a bounded crew of workers pulling closures off a
+//! shared channel. The pool size bounds request concurrency, which is the
+//! mechanism behind the response-time knee in Figure 9.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool.
+///
+/// ```
+/// use hyrec_http::threadpool::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || { counter.fetch_add(1, Ordering::SeqCst); });
+/// }
+/// pool.join();
+/// assert_eq!(counter.load(Ordering::SeqCst), 100);
+/// ```
+pub struct ThreadPool {
+    workers: Vec<thread::JoinHandle<()>>,
+    sender: Option<mpsc::Sender<Job>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `size` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "thread pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                thread::spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().expect("pool receiver poisoned");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // channel closed: shut down
+                    }
+                })
+            })
+            .collect();
+        Self { workers, sender: Some(sender) }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job; it runs as soon as a worker is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ThreadPool::join`].
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.sender
+            .as_ref()
+            .expect("pool already joined")
+            .send(Box::new(job))
+            .expect("workers are alive while sender exists");
+    }
+
+    /// Closes the queue and waits for all submitted jobs to finish.
+    pub fn join(mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_size() {
+        let pool = ThreadPool::new(2);
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let active = Arc::clone(&active);
+            let peak = Arc::clone(&peak);
+            pool.execute(move || {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(5));
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_size_panics() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn drop_waits_for_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    thread::sleep(Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,193 @@
+//! The anonymous mapping of Section 3.1.
+//!
+//! "HyRec hides the user/profile association through an anonymous mapping
+//! that associates identifiers with users … and periodically changes these
+//! identifiers to prevent curious users from determining which user
+//! corresponds to which profile in the received candidate set."
+//!
+//! [`AnonymousMapping`] maintains a bijection from real user ids to
+//! per-epoch pseudonyms. Jobs go out under the current epoch; KNN updates
+//! may legitimately come back under the *previous* epoch (a widget can hold
+//! a job across a reshuffle), so the mapping resolves pseudonyms from the
+//! last two epochs.
+
+use hyrec_core::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One epoch's bijective pseudonym table.
+#[derive(Debug, Clone, Default)]
+struct Epoch {
+    forward: HashMap<UserId, UserId>,
+    inverse: HashMap<UserId, UserId>,
+}
+
+impl Epoch {
+    fn pseudonym(&mut self, real: UserId, rng: &mut StdRng) -> UserId {
+        if let Some(&p) = self.forward.get(&real) {
+            return p;
+        }
+        // Draw until unused; the 32-bit space dwarfs any real user count.
+        loop {
+            let candidate = UserId(rng.gen());
+            if !self.inverse.contains_key(&candidate) {
+                self.forward.insert(real, candidate);
+                self.inverse.insert(candidate, real);
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Epoch-based bijective user pseudonymization.
+///
+/// ```
+/// use hyrec_core::UserId;
+/// use hyrec_server::anonymize::AnonymousMapping;
+///
+/// let mut map = AnonymousMapping::new(42);
+/// let p = map.pseudonymize(UserId(7));
+/// assert_ne!(p, UserId(7));
+/// assert_eq!(map.resolve(p), Some(UserId(7)));
+///
+/// map.reshuffle();
+/// let p2 = map.pseudonymize(UserId(7));
+/// assert_ne!(p, p2);              // new epoch, new pseudonym
+/// assert_eq!(map.resolve(p), Some(UserId(7)));  // old epoch still resolves
+/// ```
+#[derive(Debug)]
+pub struct AnonymousMapping {
+    rng: StdRng,
+    current: Epoch,
+    previous: Epoch,
+    reshuffles: u64,
+}
+
+impl AnonymousMapping {
+    /// Creates a mapping with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            current: Epoch::default(),
+            previous: Epoch::default(),
+            reshuffles: 0,
+        }
+    }
+
+    /// Returns the current-epoch pseudonym for `real`, minting one if new.
+    pub fn pseudonymize(&mut self, real: UserId) -> UserId {
+        self.current.pseudonym(real, &mut self.rng)
+    }
+
+    /// Resolves a pseudonym from the current or previous epoch.
+    #[must_use]
+    pub fn resolve(&self, pseudo: UserId) -> Option<UserId> {
+        self.current
+            .inverse
+            .get(&pseudo)
+            .or_else(|| self.previous.inverse.get(&pseudo))
+            .copied()
+    }
+
+    /// Starts a new epoch: all pseudonyms are re-drawn; the previous epoch
+    /// remains resolvable for in-flight updates; anything older is dropped.
+    pub fn reshuffle(&mut self) {
+        self.previous = std::mem::take(&mut self.current);
+        self.reshuffles += 1;
+    }
+
+    /// Number of reshuffles so far.
+    #[must_use]
+    pub fn reshuffle_count(&self) -> u64 {
+        self.reshuffles
+    }
+
+    /// Number of users with a pseudonym in the current epoch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.current.forward.len()
+    }
+
+    /// True when no pseudonym has been minted in the current epoch.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.current.forward.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_bijective_within_epoch() {
+        let mut map = AnonymousMapping::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..1000u32 {
+            let p = map.pseudonymize(UserId(u));
+            assert!(seen.insert(p), "pseudonym collision for u{u}");
+            assert_eq!(map.resolve(p), Some(UserId(u)));
+        }
+        assert_eq!(map.len(), 1000);
+    }
+
+    #[test]
+    fn pseudonym_is_stable_within_epoch() {
+        let mut map = AnonymousMapping::new(2);
+        let a = map.pseudonymize(UserId(5));
+        let b = map.pseudonymize(UserId(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reshuffle_changes_pseudonyms_but_keeps_one_epoch_of_history() {
+        let mut map = AnonymousMapping::new(3);
+        let old = map.pseudonymize(UserId(5));
+        map.reshuffle();
+        let new = map.pseudonymize(UserId(5));
+        assert_ne!(old, new);
+        assert_eq!(map.resolve(old), Some(UserId(5)));
+        assert_eq!(map.resolve(new), Some(UserId(5)));
+
+        // Two reshuffles later the original pseudonym is gone.
+        map.reshuffle();
+        assert_eq!(map.resolve(old), None);
+        assert_eq!(map.resolve(new), Some(UserId(5)));
+        assert_eq!(map.reshuffle_count(), 2);
+    }
+
+    #[test]
+    fn unknown_pseudonyms_do_not_resolve() {
+        let mut map = AnonymousMapping::new(4);
+        let p = map.pseudonymize(UserId(1));
+        assert_eq!(map.resolve(UserId(p.0.wrapping_add(1))), None);
+    }
+
+    #[test]
+    fn different_seeds_mint_different_pseudonyms() {
+        let mut a = AnonymousMapping::new(5);
+        let mut b = AnonymousMapping::new(6);
+        assert_ne!(a.pseudonymize(UserId(1)), b.pseudonymize(UserId(1)));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn resolve_inverts_pseudonymize(
+                users in proptest::collection::vec(0u32..10_000, 1..200),
+                seed in any::<u64>(),
+            ) {
+                let mut map = AnonymousMapping::new(seed);
+                for &u in &users {
+                    let p = map.pseudonymize(UserId(u));
+                    prop_assert_eq!(map.resolve(p), Some(UserId(u)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The CRec front-end — the centralized baseline's request path.
+//!
+//! In the Offline-CRec architecture (Section 5.4–5.5) a front-end server
+//! answers every client request by computing item recommendations *on the
+//! server* from the KNN table that a back-end refreshed offline. This is the
+//! "CRec" line of Figures 8 and 9: its per-request cost grows with profile
+//! size because Algorithm 2 runs server-side, whereas HyRec's server only
+//! assembles and compresses a message.
+
+use hyrec_core::{
+    recommend, KnnTable, Neighborhood, Profile, ProfileTable, Recommendation, UserId,
+};
+
+/// Centralized front-end serving recommendations from precomputed KNN.
+///
+/// Borrows the global tables; the back-end (any [`crate::OfflineBackend`])
+/// refreshes the KNN table out of band.
+///
+/// ```
+/// use hyrec_core::{ItemId, KnnTable, Neighbor, Neighborhood, ProfileTable, UserId, Vote};
+/// use hyrec_server::CRecFrontEnd;
+///
+/// let profiles = ProfileTable::new();
+/// let knn = KnnTable::new();
+/// profiles.record(UserId(1), ItemId(1), Vote::Like);
+/// profiles.record(UserId(2), ItemId(1), Vote::Like);
+/// profiles.record(UserId(2), ItemId(2), Vote::Like);
+/// knn.update(UserId(1), Neighborhood::from_neighbors([
+///     Neighbor { user: UserId(2), similarity: 0.7 },
+/// ]));
+///
+/// let front = CRecFrontEnd::new(&profiles, &knn);
+/// let recs = front.recommend(UserId(1), 5);
+/// assert_eq!(recs[0].item, ItemId(2));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CRecFrontEnd<'a> {
+    profiles: &'a ProfileTable,
+    knn: &'a KnnTable,
+}
+
+impl<'a> CRecFrontEnd<'a> {
+    /// Creates a front-end over the global tables.
+    #[must_use]
+    pub fn new(profiles: &'a ProfileTable, knn: &'a KnnTable) -> Self {
+        Self { profiles, knn }
+    }
+
+    /// Serves one request: Algorithm 2 over the user's stored neighbours.
+    ///
+    /// Unknown users or users with no KNN entry get an empty list (the
+    /// centralized architecture cannot recommend before the next offline
+    /// KNN pass — the cold-start weakness Section 5.3 highlights).
+    #[must_use]
+    pub fn recommend(&self, user: UserId, r: usize) -> Vec<Recommendation> {
+        let profile = self.profiles.get(user).unwrap_or_default();
+        let hood = self.knn.get(user).unwrap_or_default();
+        self.recommend_from(&profile, &hood, r)
+    }
+
+    /// The server-side recommendation kernel, exposed for benchmarking the
+    /// exact per-request work (Figure 8 measures this loop).
+    #[must_use]
+    pub fn recommend_from(
+        &self,
+        profile: &Profile,
+        hood: &Neighborhood,
+        r: usize,
+    ) -> Vec<Recommendation> {
+        let neighbor_profiles: Vec<Profile> = hood
+            .users()
+            .filter_map(|v| self.profiles.get(v))
+            .collect();
+        recommend::most_popular(profile, neighbor_profiles.iter(), r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_core::{ItemId, Neighbor, Vote};
+
+    fn tables() -> (ProfileTable, KnnTable) {
+        let profiles = ProfileTable::new();
+        let knn = KnnTable::new();
+        // u1 likes 1; u2 and u3 like overlapping sets.
+        profiles.record(UserId(1), ItemId(1), Vote::Like);
+        for i in [1u32, 2, 3] {
+            profiles.record(UserId(2), ItemId(i), Vote::Like);
+        }
+        for i in [2u32, 3, 4] {
+            profiles.record(UserId(3), ItemId(i), Vote::Like);
+        }
+        knn.update(
+            UserId(1),
+            Neighborhood::from_neighbors([
+                Neighbor { user: UserId(2), similarity: 0.6 },
+                Neighbor { user: UserId(3), similarity: 0.3 },
+            ]),
+        );
+        (profiles, knn)
+    }
+
+    #[test]
+    fn recommends_neighbors_popular_unseen_items() {
+        let (profiles, knn) = tables();
+        let front = CRecFrontEnd::new(&profiles, &knn);
+        let recs = front.recommend(UserId(1), 10);
+        // Items 2 and 3 are liked by both neighbours; 1 is excluded (seen).
+        assert_eq!(recs[0].item, ItemId(2));
+        assert_eq!(recs[0].popularity, 2);
+        assert!(recs.iter().all(|rec| rec.item != ItemId(1)));
+    }
+
+    #[test]
+    fn user_without_knn_gets_nothing() {
+        let (profiles, knn) = tables();
+        let front = CRecFrontEnd::new(&profiles, &knn);
+        assert!(front.recommend(UserId(2), 5).is_empty());
+        assert!(front.recommend(UserId(999), 5).is_empty());
+    }
+
+    #[test]
+    fn respects_r() {
+        let (profiles, knn) = tables();
+        let front = CRecFrontEnd::new(&profiles, &knn);
+        assert_eq!(front.recommend(UserId(1), 1).len(), 1);
+        assert!(front.recommend(UserId(1), 0).is_empty());
+    }
+
+    #[test]
+    fn missing_neighbor_profiles_are_skipped() {
+        let profiles = ProfileTable::new();
+        let knn = KnnTable::new();
+        profiles.record(UserId(1), ItemId(1), Vote::Like);
+        knn.update(
+            UserId(1),
+            Neighborhood::from_neighbors([Neighbor { user: UserId(77), similarity: 0.9 }]),
+        );
+        let front = CRecFrontEnd::new(&profiles, &knn);
+        assert!(front.recommend(UserId(1), 5).is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! Compressed-fragment caching for personalization jobs.
+//!
+//! The orchestrator's per-request work is "retrieve a candidate set … and
+//! build a personalization job" (Section 3.1) — crucially *not* any
+//! recommendation computation. The dominant cost of shipping a job is
+//! serializing and gzip-compressing ~120 candidate profiles; since a
+//! profile only changes when its owner rates something, this encoder caches
+//! each candidate's **already-compressed** DEFLATE chunk (zlib
+//! `Z_SYNC_FLUSH` framing, byte-aligned and freely concatenatable) together
+//! with its CRC-32 and a cached CRC shift operator. Serving a request then
+//! reduces to:
+//!
+//! 1. compress the tiny dynamic prefix (requester id + profile),
+//! 2. memcpy the cached candidate chunks,
+//! 3. fold the cached CRCs with [`hyrec_wire::crc::ShiftOp::combine`],
+//! 4. append the stream terminator and gzip trailer.
+//!
+//! This is the engineering reason the HyRec front-end outruns the CRec
+//! front-end in Figure 8: CRec must recompute item popularity over every
+//! candidate profile per request, while HyRec's per-request CPU is a small
+//! compress plus memcpys.
+//!
+//! The emitted JSON is schema-compatible with
+//! [`PersonalizationJob::decode`]: the candidates array carries a leading
+//! `null` sentinel (chunk-alignment artifact) which the decoder skips.
+
+use hyrec_core::{Profile, UserId};
+use hyrec_wire::crc::{crc32, ShiftOp};
+use hyrec_wire::deflate::lz77::Effort;
+use hyrec_wire::deflate::{compress_chunk, STREAM_TERMINATOR};
+use hyrec_wire::gzip;
+use hyrec_wire::PersonalizationJob;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a over the profile's vote lists — cheap fingerprint for cache
+/// validation.
+fn fingerprint(profile: &Profile) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u32| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for item in profile.liked() {
+        eat(item.raw());
+    }
+    eat(u32::MAX); // separator
+    for item in profile.disliked() {
+        eat(item.raw());
+    }
+    hash
+}
+
+/// Serializes one profile to the exact JSON shape of
+/// `hyrec_wire::messages` (`{"liked":[…],"disliked":[…]}`).
+fn profile_json(out: &mut String, profile: &Profile) {
+    out.push_str("{\"liked\":[");
+    for (i, item) in profile.liked().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item.raw().to_string());
+    }
+    out.push_str("],\"disliked\":[");
+    for (i, item) in profile.disliked().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item.raw().to_string());
+    }
+    out.push_str("]}");
+}
+
+/// A cached, pre-compressed candidate fragment:
+/// `,{"uid":<uid>,"profile":{…}}` (leading comma — the array opens with a
+/// `null` sentinel so every candidate entry is comma-prefixed).
+struct CachedFragment {
+    fingerprint: u64,
+    chunk: Arc<Vec<u8>>,
+    crc: u32,
+    raw_len: u64,
+    shift: ShiftOp,
+}
+
+/// Memoizing, chunk-assembling encoder for personalization jobs.
+///
+/// Thread-safe; share one per server. Output decodes with
+/// [`PersonalizationJob::decode`].
+///
+/// ```
+/// use hyrec_server::encoder::JobEncoder;
+/// use hyrec_server::HyRecServer;
+/// use hyrec_core::{ItemId, UserId, Vote};
+/// use hyrec_wire::PersonalizationJob;
+///
+/// let server = HyRecServer::new();
+/// server.record(UserId(1), ItemId(5), Vote::Like);
+/// server.record(UserId(2), ItemId(5), Vote::Like);
+/// let job = server.build_job(UserId(1));
+///
+/// let encoder = JobEncoder::new();
+/// let bytes = encoder.encode(&job);
+/// let decoded = PersonalizationJob::decode(&bytes)?;
+/// assert_eq!(decoded, job);
+/// # Ok::<(), hyrec_wire::WireError>(())
+/// ```
+#[derive(Default)]
+pub struct JobEncoder {
+    cache: RwLock<HashMap<UserId, CachedFragment>>,
+}
+
+impl std::fmt::Debug for JobEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobEncoder")
+            .field("cached_profiles", &self.cache.read().len())
+            .finish()
+    }
+}
+
+impl JobEncoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached candidate fragments.
+    #[must_use]
+    pub fn cached_profiles(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Fetches (or builds) the compressed fragment for one candidate.
+    fn fragment(
+        &self,
+        user: UserId,
+        profile: &Profile,
+    ) -> (Arc<Vec<u8>>, u32, u64, ShiftOp) {
+        let fp = fingerprint(profile);
+        if let Some(entry) = self.cache.read().get(&user) {
+            if entry.fingerprint == fp {
+                return (Arc::clone(&entry.chunk), entry.crc, entry.raw_len, entry.shift);
+            }
+        }
+        let mut raw = String::with_capacity(32 + profile.exposure_len() * 7);
+        raw.push_str(",{\"uid\":");
+        raw.push_str(&user.raw().to_string());
+        raw.push_str(",\"profile\":");
+        profile_json(&mut raw, profile);
+        raw.push('}');
+        let raw = raw.into_bytes();
+        let chunk = Arc::new(compress_chunk(&raw, Effort::FAST));
+        let crc = crc32(&raw);
+        let raw_len = raw.len() as u64;
+        let shift = ShiftOp::for_len(raw_len);
+        self.cache.write().insert(
+            user,
+            CachedFragment {
+                fingerprint: fp,
+                chunk: Arc::clone(&chunk),
+                crc,
+                raw_len,
+                shift,
+            },
+        );
+        (chunk, crc, raw_len, shift)
+    }
+
+    /// Encodes a job to a gzip member assembled from cached fragments.
+    #[must_use]
+    pub fn encode(&self, job: &PersonalizationJob) -> Vec<u8> {
+        // Dynamic prefix: requester id, parameters, requester profile, and
+        // the `null` sentinel that makes candidate fragments comma-prefixed.
+        let mut prefix = String::with_capacity(64 + job.profile.exposure_len() * 7);
+        prefix.push_str("{\"uid\":");
+        prefix.push_str(&job.uid.raw().to_string());
+        prefix.push_str(",\"k\":");
+        prefix.push_str(&job.k.to_string());
+        prefix.push_str(",\"r\":");
+        prefix.push_str(&job.r.to_string());
+        prefix.push_str(",\"profile\":");
+        profile_json(&mut prefix, &job.profile);
+        prefix.push_str(",\"candidates\":[null");
+        let prefix = prefix.into_bytes();
+
+        const SUFFIX: &[u8] = b"]}";
+
+        let mut out = Vec::with_capacity(1024 + job.candidates.len() * 256);
+        out.extend_from_slice(&gzip::HEADER);
+        out.extend_from_slice(&compress_chunk(&prefix, Effort::FAST));
+
+        let mut crc = crc32(&prefix);
+        let mut total_len = prefix.len() as u64;
+
+        for candidate in job.candidates.iter() {
+            let (chunk, frag_crc, frag_len, shift) =
+                self.fragment(candidate.user, &candidate.profile);
+            out.extend_from_slice(&chunk);
+            crc = shift.combine(crc, frag_crc);
+            total_len += frag_len;
+        }
+
+        out.extend_from_slice(&compress_chunk(SUFFIX, Effort::FAST));
+        crc = ShiftOp::for_len(SUFFIX.len() as u64).combine(crc, crc32(SUFFIX));
+        total_len += SUFFIX.len() as u64;
+
+        out.extend_from_slice(&STREAM_TERMINATOR);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&((total_len & 0xFFFF_FFFF) as u32).to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_core::CandidateSet;
+
+    fn job() -> PersonalizationJob {
+        let mut candidates = CandidateSet::new();
+        candidates.insert(UserId(2), Profile::from_liked([4u32, 5, 6]));
+        candidates.insert(UserId(3), Profile::from_votes([7u32], [8u32]));
+        PersonalizationJob {
+            uid: UserId(1),
+            k: 2,
+            r: 3,
+            profile: Profile::from_liked([1u32, 2]),
+            candidates,
+        }
+    }
+
+    #[test]
+    fn output_is_decodable_and_equal() {
+        let job = job();
+        let encoder = JobEncoder::new();
+        let bytes = encoder.encode(&job);
+        let decoded = PersonalizationJob::decode(&bytes).unwrap();
+        assert_eq!(decoded, job);
+    }
+
+    #[test]
+    fn gzip_frame_is_self_consistent() {
+        // The assembled member must pass full gzip validation (CRC, ISIZE).
+        let job = job();
+        let encoder = JobEncoder::new();
+        let bytes = encoder.encode(&job);
+        let raw = hyrec_wire::gzip::decompress(&bytes).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("{\"uid\":1"));
+        assert!(text.contains("\"candidates\":[null,"));
+        assert!(text.ends_with("]}"));
+    }
+
+    #[test]
+    fn cache_hits_on_unchanged_profiles() {
+        let job = job();
+        let encoder = JobEncoder::new();
+        let _ = encoder.encode(&job);
+        assert_eq!(encoder.cached_profiles(), 2);
+        let a = encoder.encode(&job);
+        let b = encoder.encode(&job);
+        assert_eq!(a, b);
+        assert_eq!(encoder.cached_profiles(), 2);
+    }
+
+    #[test]
+    fn cache_invalidates_on_profile_change() {
+        let mut job = job();
+        let encoder = JobEncoder::new();
+        let before = PersonalizationJob::decode(&encoder.encode(&job)).unwrap();
+        assert_eq!(before.candidates.len(), 2);
+
+        // Mutate a *candidate* profile: the cached fragment must refresh.
+        let mut candidates = CandidateSet::new();
+        let mut changed = Profile::from_liked([4u32, 5, 6]);
+        changed.record(hyrec_core::ItemId(999), hyrec_core::Vote::Like);
+        candidates.insert(UserId(2), changed);
+        candidates.insert(UserId(3), Profile::from_votes([7u32], [8u32]));
+        job.candidates = candidates;
+
+        let after = PersonalizationJob::decode(&encoder.encode(&job)).unwrap();
+        let c2 = after.candidates.iter().find(|c| c.user == UserId(2)).unwrap();
+        assert!(c2.profile.likes(hyrec_core::ItemId(999)));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_likes_from_dislikes() {
+        let liked = Profile::from_liked([1u32, 2]);
+        let disliked = Profile::from_votes(Vec::<u32>::new(), [1u32, 2]);
+        assert_ne!(fingerprint(&liked), fingerprint(&disliked));
+    }
+
+    #[test]
+    fn empty_job_encodes() {
+        let job = PersonalizationJob {
+            uid: UserId(0),
+            k: 1,
+            r: 1,
+            profile: Profile::new(),
+            candidates: CandidateSet::new(),
+        };
+        let encoder = JobEncoder::new();
+        let decoded = PersonalizationJob::decode(&encoder.encode(&job)).unwrap();
+        assert_eq!(decoded, job);
+    }
+
+    #[test]
+    fn many_candidates_round_trip() {
+        let mut candidates = CandidateSet::new();
+        for u in 10..150u32 {
+            candidates.insert(
+                UserId(u),
+                Profile::from_liked((0..40u32).map(|i| u * 13 + i * 3).collect::<Vec<_>>()),
+            );
+        }
+        let job = PersonalizationJob {
+            uid: UserId(1),
+            k: 10,
+            r: 10,
+            profile: Profile::from_liked(0u32..50),
+            candidates,
+        };
+        let encoder = JobEncoder::new();
+        let decoded = PersonalizationJob::decode(&encoder.encode(&job)).unwrap();
+        assert_eq!(decoded, job);
+        // Second encode is all cache hits and byte-identical.
+        assert_eq!(encoder.encode(&job), encoder.encode(&job));
+    }
+}

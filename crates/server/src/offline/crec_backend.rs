@@ -1,0 +1,208 @@
+//! Offline-CRec: the sampling KNN algorithm as a map-reduce back-end.
+//!
+//! "Offline-CRec is an offline solution that uses the same algorithm as
+//! HyRec (i.e. a sampling approach for KNN) but with a map-reduce-based
+//! architecture" (Section 5.4). Each round maps every user to a new KNN
+//! selection computed from the *previous* round's table (candidates =
+//! current KNN ∪ 2-hop KNN ∪ random), then reduces into the next table —
+//! the synchronous analogue of HyRec's per-request iterations. Converges in
+//! 10–20 rounds like the epidemic protocols it derives from.
+
+use super::{exhaustive::default_workers, parallel_chunks, OfflineBackend};
+use hyrec_core::{knn, Cosine, Neighborhood, Profile, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Sampling-based offline KNN (the paper's cheapest back-end).
+#[derive(Debug, Clone, Copy)]
+pub struct CRecBackend {
+    /// Number of worker threads for the map phase.
+    pub workers: usize,
+    /// Maximum number of rounds (the paper observes convergence in 10–20).
+    pub max_rounds: usize,
+    /// Stop early when the round-over-round improvement in average view
+    /// similarity drops below this threshold.
+    pub epsilon: f64,
+    /// RNG seed for the random candidate legs.
+    pub seed: u64,
+}
+
+impl Default for CRecBackend {
+    fn default() -> Self {
+        Self { workers: default_workers(), max_rounds: 20, epsilon: 1e-4, seed: 0xC4EC }
+    }
+}
+
+impl CRecBackend {
+    /// Creates a back-end with explicit workers and defaults elsewhere.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1), ..Self::default() }
+    }
+
+    /// Runs the rounds, returning the table and the number of rounds used.
+    pub fn compute_with_rounds(
+        &self,
+        profiles: &[(UserId, Profile)],
+        k: usize,
+    ) -> (Vec<(UserId, Neighborhood)>, usize) {
+        let n = profiles.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let index: HashMap<UserId, usize> =
+            profiles.iter().enumerate().map(|(i, (u, _))| (*u, i)).collect();
+
+        // Round 0: random neighbourhoods (how a cold system starts).
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut table: Vec<Vec<usize>> = (0..n)
+            .map(|me| {
+                let mut picks = HashSet::new();
+                while picks.len() < k.min(n.saturating_sub(1)) {
+                    let v = rng.gen_range(0..n);
+                    if v != me {
+                        picks.insert(v);
+                    }
+                }
+                picks.into_iter().collect()
+            })
+            .collect();
+
+        let mut previous_quality = 0.0f64;
+        let mut rounds_used = 0usize;
+        let mut hoods: Vec<Neighborhood> = vec![Neighborhood::new(); n];
+
+        for round in 0..self.max_rounds {
+            rounds_used = round + 1;
+            let base_seed = self.seed.wrapping_add(round as u64);
+            // Map: each user selects top-k from neighbours ∪ 2-hop ∪ random,
+            // reading only the previous round's table (synchronous rounds).
+            let users: Vec<usize> = (0..n).collect();
+            let new_hoods: Vec<Neighborhood> = parallel_chunks(&users, self.workers, |&me| {
+                let mut candidates: HashSet<usize> = HashSet::new();
+                for &v in &table[me] {
+                    candidates.insert(v);
+                    for &w in &table[v] {
+                        candidates.insert(w);
+                    }
+                }
+                // Deterministic per-user random leg.
+                let mut local_rng =
+                    StdRng::seed_from_u64(base_seed ^ (me as u64).wrapping_mul(0x9E37_79B9));
+                for _ in 0..k {
+                    candidates.insert(local_rng.gen_range(0..n));
+                }
+                candidates.remove(&me);
+
+                let (_, ref my_profile) = profiles[me];
+                knn::select(
+                    my_profile,
+                    candidates.iter().map(|&v| (profiles[v].0, &profiles[v].1)),
+                    k,
+                    &Cosine,
+                )
+            });
+
+            // Reduce: install the new table.
+            table = new_hoods
+                .iter()
+                .map(|hood| hood.users().map(|u| index[&u]).collect())
+                .collect();
+            hoods = new_hoods;
+
+            let quality: f64 =
+                hoods.iter().map(Neighborhood::view_similarity).sum::<f64>() / n as f64;
+            if round > 0 && (quality - previous_quality).abs() < self.epsilon {
+                break;
+            }
+            previous_quality = quality;
+        }
+
+        (
+            profiles
+                .iter()
+                .zip(hoods)
+                .map(|((u, _), hood)| (*u, hood))
+                .collect(),
+            rounds_used,
+        )
+    }
+}
+
+impl OfflineBackend for CRecBackend {
+    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)> {
+        self.compute_with_rounds(profiles, k).0
+    }
+
+    fn name(&self) -> &'static str {
+        "crec"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::ExhaustiveBackend;
+
+    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, Profile)> {
+        (0..clusters * per_cluster)
+            .map(|u| {
+                let cluster = u % clusters;
+                let profile = Profile::from_liked(
+                    (0..8u32).map(|i| cluster * 100 + i).collect::<Vec<_>>(),
+                );
+                (UserId(u), profile)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn converges_close_to_ideal() {
+        let profiles = clustered_profiles(4, 20);
+        let k = 5;
+        let ideal = ExhaustiveBackend::new(2).compute(&profiles, k);
+        let (approx, rounds) = CRecBackend::new(2).compute_with_rounds(&profiles, k);
+
+        let quality = |t: &[(UserId, Neighborhood)]| {
+            t.iter().map(|(_, h)| h.view_similarity()).sum::<f64>() / t.len() as f64
+        };
+        let (qi, qa) = (quality(&ideal), quality(&approx));
+        assert!(
+            qa > qi * 0.9,
+            "sampling quality {qa:.3} below 90% of ideal {qi:.3} (rounds {rounds})"
+        );
+        assert!(rounds <= 20);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let profiles = clustered_profiles(3, 10);
+        let a = CRecBackend::new(2).compute(&profiles, 4);
+        let b = CRecBackend::new(2).compute(&profiles, 4);
+        let views = |t: &[(UserId, Neighborhood)]| {
+            t.iter().map(|(_, h)| h.view_similarity()).collect::<Vec<_>>()
+        };
+        assert_eq!(views(&a), views(&b));
+    }
+
+    #[test]
+    fn handles_tiny_populations() {
+        let profiles = clustered_profiles(1, 2);
+        let table = CRecBackend::new(1).compute(&profiles, 5);
+        assert_eq!(table.len(), 2);
+        for (user, hood) in &table {
+            assert!(!hood.contains(*user));
+            assert_eq!(hood.len(), 1);
+        }
+        assert!(CRecBackend::new(1).compute(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn early_stop_uses_fewer_rounds_on_easy_input() {
+        let profiles = clustered_profiles(2, 10);
+        let backend = CRecBackend { max_rounds: 50, ..CRecBackend::new(2) };
+        let (_, rounds) = backend.compute_with_rounds(&profiles, 4);
+        assert!(rounds < 50, "early stopping never triggered");
+    }
+}

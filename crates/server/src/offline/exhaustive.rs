@@ -1,0 +1,127 @@
+//! Offline-Ideal: exact all-pairs KNN.
+//!
+//! The paper's reference back-end "computes similarities between all pairs
+//! of users thereby yielding the ideal KNN at each iteration" (Section 5.4).
+//! `O(N²)` similarity computations — the quantity Figure 7 shows exploding
+//! with dataset size.
+
+use super::{parallel_chunks, OfflineBackend};
+use hyrec_core::{knn, Cosine, Neighborhood, Profile, Similarity, UserId};
+
+/// Exact all-pairs KNN with a configurable worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhaustiveBackend {
+    /// Number of worker threads.
+    pub workers: usize,
+}
+
+impl Default for ExhaustiveBackend {
+    fn default() -> Self {
+        Self { workers: default_workers() }
+    }
+}
+
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(2, |n| n.get())
+}
+
+impl ExhaustiveBackend {
+    /// Creates the back-end with an explicit worker count.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// Computes the exact KNN table with an arbitrary similarity metric.
+    pub fn compute_with<S: Similarity>(
+        &self,
+        profiles: &[(UserId, Profile)],
+        k: usize,
+        metric: &S,
+    ) -> Vec<(UserId, Neighborhood)> {
+        parallel_chunks(profiles, self.workers, |(user, profile)| {
+            let hood = knn::select(
+                profile,
+                profiles.iter().filter(|(v, _)| v != user).map(|(v, p)| (*v, p)),
+                k,
+                metric,
+            );
+            (*user, hood)
+        })
+    }
+}
+
+impl OfflineBackend for ExhaustiveBackend {
+    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)> {
+        self.compute_with(profiles, k, &Cosine)
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, Profile)> {
+        (0..clusters * per_cluster)
+            .map(|u| {
+                let cluster = u % clusters;
+                let profile =
+                    Profile::from_liked((0..6u32).map(|i| cluster * 100 + i).collect::<Vec<_>>());
+                (UserId(u), profile)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_clusters() {
+        let profiles = clustered_profiles(3, 5);
+        let table = ExhaustiveBackend::new(2).compute(&profiles, 4);
+        assert_eq!(table.len(), 15);
+        for (user, hood) in &table {
+            assert_eq!(hood.len(), 4);
+            for n in hood.iter() {
+                assert_eq!(n.user.0 % 3, user.0 % 3, "wrong cluster for {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let profiles = clustered_profiles(2, 6);
+        let serial = ExhaustiveBackend::new(1).compute(&profiles, 3);
+        let parallel = ExhaustiveBackend::new(4).compute(&profiles, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for ((ua, ha), (ub, hb)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(ua, ub);
+            assert_eq!(ha.view_similarity(), hb.view_similarity());
+        }
+    }
+
+    #[test]
+    fn never_includes_self() {
+        let profiles = clustered_profiles(1, 8);
+        let table = ExhaustiveBackend::default().compute(&profiles, 7);
+        for (user, hood) in &table {
+            assert!(!hood.contains(*user));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let table = ExhaustiveBackend::default().compute(&[], 5);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn jaccard_variant_works() {
+        let profiles = clustered_profiles(2, 4);
+        let table =
+            ExhaustiveBackend::new(2).compute_with(&profiles, 3, &hyrec_core::Jaccard);
+        assert_eq!(table.len(), 8);
+        assert!(table.iter().all(|(_, h)| h.view_similarity() > 0.9));
+    }
+}

@@ -1,0 +1,333 @@
+//! The Sampler — Section 3.1's candidate-set construction.
+//!
+//! "The sampler samples a candidate set `S_u(t)` for a user `u` at time `t`
+//! by aggregating three sets: (i) the current approximation of `u`'s KNN,
+//! `N_u`, (ii) the current KNN of the users in `N_u`, and (iii) `k` random
+//! users."
+//!
+//! The [`Sampler`] trait is the paper's `interface Sampler {…}` (Table 1):
+//! content providers can swap the strategy without touching the
+//! orchestrator.
+
+use hyrec_core::{CandidateSet, KnnTable, ProfileTable, UserId};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Read-only view of server state handed to samplers.
+pub struct SamplerContext<'a> {
+    /// The global profile table.
+    pub profiles: &'a ProfileTable,
+    /// The global KNN table.
+    pub knn: &'a KnnTable,
+    /// Registry of all user ids ever seen (for uniform random picks).
+    pub directory: &'a UserDirectory,
+}
+
+/// Append-only registry of user ids supporting O(1) uniform sampling.
+///
+/// The profile table shards make "pick a uniformly random user" awkward;
+/// this directory keeps a flat list, which also matches the paper's server
+/// that knows the full user population.
+#[derive(Debug, Default)]
+pub struct UserDirectory {
+    users: RwLock<Vec<UserId>>,
+}
+
+impl UserDirectory {
+    /// Creates an empty directory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user; duplicates are the caller's responsibility
+    /// (the server registers exactly once per new profile).
+    pub fn register(&self, user: UserId) {
+        self.users.write().push(user);
+    }
+
+    /// Number of registered users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.users.read().len()
+    }
+
+    /// True when no user is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.users.read().is_empty()
+    }
+
+    /// Draws up to `n` users uniformly at random (with replacement across
+    /// draws, deduplicated by the candidate set downstream).
+    pub fn random_users(&self, n: usize, rng: &mut StdRng) -> Vec<UserId> {
+        let users = self.users.read();
+        if users.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| users[rng.gen_range(0..users.len())]).collect()
+    }
+
+    /// Snapshot of all registered users.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<UserId> {
+        self.users.read().clone()
+    }
+}
+
+/// A candidate-set construction strategy (Table 1's `Sampler` interface).
+pub trait Sampler: Send + Sync {
+    /// Builds the candidate set for `user`.
+    ///
+    /// Implementations must not include `user` itself (self-similarity is
+    /// trivially 1.0 and would poison the KNN) and should respect the
+    /// paper's size bound for comparability.
+    fn sample(
+        &self,
+        user: UserId,
+        k: usize,
+        random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> CandidateSet;
+
+    /// Short stable name for experiment output.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The paper's sampler: `N_u ∪ KNN(N_u) ∪ random`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefaultSampler;
+
+impl Sampler for DefaultSampler {
+    fn sample(
+        &self,
+        user: UserId,
+        k: usize,
+        random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> CandidateSet {
+        let mut set = CandidateSet::with_capacity(2 * k + k * k);
+        let push = |set: &mut CandidateSet, candidate: UserId| {
+            if candidate != user && !set.contains(candidate) {
+                if let Some(profile) = ctx.profiles.get(candidate) {
+                    set.insert(candidate, profile);
+                }
+            }
+        };
+
+        // (i) current KNN of u; (ii) KNN of each neighbour (2-hop).
+        let neighbors: Vec<UserId> = ctx
+            .knn
+            .with(user, |hood| hood.users().collect())
+            .unwrap_or_default();
+        for &v in &neighbors {
+            push(&mut set, v);
+        }
+        for &v in &neighbors {
+            let two_hop: Vec<UserId> = ctx
+                .knn
+                .with(v, |hood| hood.users().collect())
+                .unwrap_or_default();
+            for w in two_hop {
+                push(&mut set, w);
+            }
+        }
+
+        // (iii) k random users (bootstraps new users and prevents local
+        // optima).
+        for w in ctx.directory.random_users(random_candidates, rng) {
+            push(&mut set, w);
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "default"
+    }
+}
+
+/// Ablation sampler: random users only (no gossip structure). Converges far
+/// more slowly — used to quantify the value of the 2-hop feedback loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomOnlySampler;
+
+impl Sampler for RandomOnlySampler {
+    fn sample(
+        &self,
+        user: UserId,
+        k: usize,
+        random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> CandidateSet {
+        let budget = k + k * k + random_candidates;
+        let mut set = CandidateSet::with_capacity(budget);
+        for w in ctx.directory.random_users(budget, rng) {
+            if w != user && !set.contains(w) {
+                if let Some(profile) = ctx.profiles.get(w) {
+                    set.insert(w, profile);
+                }
+            }
+        }
+        set
+    }
+
+    fn name(&self) -> &'static str {
+        "random-only"
+    }
+}
+
+/// Ablation sampler: neighbours and 2-hop only, no random injection. Prone
+/// to getting stuck in local optima exactly as Section 3.1 warns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoRandomSampler;
+
+impl Sampler for NoRandomSampler {
+    fn sample(
+        &self,
+        user: UserId,
+        k: usize,
+        _random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> CandidateSet {
+        DefaultSampler.sample(user, k, 0, ctx, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "no-random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_core::{ItemId, Neighbor, Neighborhood, Vote};
+    use rand::SeedableRng;
+
+    fn context() -> (ProfileTable, KnnTable, UserDirectory) {
+        let profiles = ProfileTable::new();
+        let knn = KnnTable::new();
+        let directory = UserDirectory::new();
+        for u in 0..50u32 {
+            profiles.record(UserId(u), ItemId(u % 7), Vote::Like);
+            directory.register(UserId(u));
+        }
+        (profiles, knn, directory)
+    }
+
+    fn hood(users: &[u32]) -> Neighborhood {
+        Neighborhood::from_neighbors(
+            users
+                .iter()
+                .map(|&u| Neighbor { user: UserId(u), similarity: 0.5 }),
+        )
+    }
+
+    #[test]
+    fn aggregates_one_hop_two_hop_and_random() {
+        let (profiles, knn, directory) = context();
+        knn.update(UserId(0), hood(&[1, 2]));
+        knn.update(UserId(1), hood(&[3, 4]));
+        knn.update(UserId(2), hood(&[5]));
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = DefaultSampler.sample(UserId(0), 2, 2, &ctx, &mut rng);
+
+        for expected in [1u32, 2, 3, 4, 5] {
+            assert!(set.contains(UserId(expected)), "missing u{expected}");
+        }
+        // Requester never appears.
+        assert!(!set.contains(UserId(0)));
+    }
+
+    #[test]
+    fn respects_size_bound() {
+        let (profiles, knn, directory) = context();
+        // Fully-populated tables: every user has k neighbours.
+        let k = 5usize;
+        for u in 0..50u32 {
+            let others: Vec<u32> = (0..50).filter(|&v| v != u).take(k as u32 as usize).collect();
+            knn.update(UserId(u), hood(&others));
+        }
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(2);
+        for u in 0..50u32 {
+            let set = DefaultSampler.sample(UserId(u), k, k, &ctx, &mut rng);
+            assert!(
+                set.len() <= hyrec_core::candidate_set_bound(k),
+                "candidate set {} exceeds bound {}",
+                set.len(),
+                hyrec_core::candidate_set_bound(k)
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_user_gets_random_candidates() {
+        let (profiles, knn, directory) = context();
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(3);
+        // No KNN entry for u0 yet: candidates come only from the random leg.
+        let set = DefaultSampler.sample(UserId(0), 10, 10, &ctx, &mut rng);
+        assert!(!set.is_empty());
+        assert!(set.len() <= 10);
+    }
+
+    #[test]
+    fn empty_directory_yields_empty_set() {
+        let profiles = ProfileTable::new();
+        let knn = KnnTable::new();
+        let directory = UserDirectory::new();
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(4);
+        let set = DefaultSampler.sample(UserId(0), 10, 10, &ctx, &mut rng);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn candidates_without_profiles_are_skipped() {
+        let profiles = ProfileTable::new();
+        let knn = KnnTable::new();
+        let directory = UserDirectory::new();
+        // u1 is in u0's KNN but has no profile (e.g. purged).
+        knn.update(UserId(0), hood(&[1]));
+        directory.register(UserId(0));
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = DefaultSampler.sample(UserId(0), 2, 0, &ctx, &mut rng);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn ablation_samplers_have_names() {
+        assert_eq!(DefaultSampler.name(), "default");
+        assert_eq!(RandomOnlySampler.name(), "random-only");
+        assert_eq!(NoRandomSampler.name(), "no-random");
+    }
+
+    #[test]
+    fn no_random_sampler_is_empty_without_knn() {
+        let (profiles, knn, directory) = context();
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(6);
+        let set = NoRandomSampler.sample(UserId(0), 5, 5, &ctx, &mut rng);
+        assert!(set.is_empty(), "no-random sampler cannot bootstrap");
+    }
+
+    #[test]
+    fn random_only_excludes_requester() {
+        let (profiles, knn, directory) = context();
+        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let set = RandomOnlySampler.sample(UserId(3), 3, 3, &ctx, &mut rng);
+            assert!(!set.contains(UserId(3)));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The HyRec server: global tables + sampler + personalization orchestrator.
+
+use crate::anonymize::AnonymousMapping;
+use crate::config::HyRecConfig;
+use crate::sampler::{DefaultSampler, Sampler, SamplerContext, UserDirectory};
+use hyrec_core::{
+    CandidateSet, ItemId, KnnTable, Neighborhood, Profile, ProfileTable, UserId, Vote,
+};
+use hyrec_wire::{KnnUpdate, PersonalizationJob};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The HyRec server (Figure 1, bottom): orchestrates browser-side
+/// personalization while owning the global Profile and KNN tables.
+///
+/// All methods take `&self`; the server is meant to be shared across request
+/// threads (`Arc<HyRecServer>` in the HTTP front-end).
+///
+/// ```
+/// use hyrec_core::{ItemId, UserId, Vote};
+/// use hyrec_server::HyRecServer;
+/// use hyrec_client::Widget;
+///
+/// let server = HyRecServer::new();
+/// server.record(UserId(1), ItemId(10), Vote::Like);
+/// server.record(UserId(2), ItemId(10), Vote::Like);
+///
+/// // One full HyRec interaction (arrows 1-3 of Figure 1):
+/// let job = server.build_job(UserId(1));
+/// let out = Widget::new().run_job(&job);
+/// server.apply_update(&out.update);
+/// ```
+pub struct HyRecServer {
+    config: HyRecConfig,
+    profiles: ProfileTable,
+    knn: KnnTable,
+    directory: UserDirectory,
+    sampler: Box<dyn Sampler>,
+    anonymizer: Mutex<AnonymousMapping>,
+    rng: Mutex<StdRng>,
+    requests_served: AtomicU64,
+    updates_applied: AtomicU64,
+}
+
+impl std::fmt::Debug for HyRecServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyRecServer")
+            .field("config", &self.config)
+            .field("users", &self.directory.len())
+            .field("sampler", &self.sampler.name())
+            .finish()
+    }
+}
+
+impl Default for HyRecServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HyRecServer {
+    /// Creates a server with the paper's default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(HyRecConfig::default())
+    }
+
+    /// Creates a server from a configuration.
+    #[must_use]
+    pub fn with_config(config: HyRecConfig) -> Self {
+        Self::with_sampler(config, DefaultSampler)
+    }
+
+    /// Creates a server with a custom sampling strategy (Table 1's
+    /// `Sampler` interface).
+    #[must_use]
+    pub fn with_sampler(config: HyRecConfig, sampler: impl Sampler + 'static) -> Self {
+        let seed = config.seed;
+        Self {
+            config,
+            profiles: ProfileTable::new(),
+            knn: KnnTable::new(),
+            directory: UserDirectory::new(),
+            sampler: Box::new(sampler),
+            anonymizer: Mutex::new(AnonymousMapping::new(seed ^ 0xA11CE)),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            requests_served: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// Shorthand for `HyRecConfig::builder()` + `HyRecServer::with_config`.
+    #[must_use]
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder { config: HyRecConfig::builder(), }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &HyRecConfig {
+        &self.config
+    }
+
+    /// Records a rating into the user's profile (arrow 1 of Figure 1: the
+    /// server "first updates u's profile in its global data structure").
+    ///
+    /// Returns `true` when the vote changed the profile.
+    pub fn record(&self, user: UserId, item: ItemId, vote: Vote) -> bool {
+        if !self.profiles.contains(user) {
+            self.directory.register(user);
+        }
+        self.profiles.record(user, item, vote)
+    }
+
+    /// Number of users known to the server.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Clone of a user's profile, if any.
+    #[must_use]
+    pub fn profile_of(&self, user: UserId) -> Option<Profile> {
+        self.profiles.get(user)
+    }
+
+    /// Clone of a user's current KNN approximation, if any.
+    #[must_use]
+    pub fn knn_of(&self, user: UserId) -> Option<Neighborhood> {
+        self.knn.get(user)
+    }
+
+    /// Direct read access to the profile table (offline back-ends, metrics).
+    #[must_use]
+    pub fn profiles(&self) -> &ProfileTable {
+        &self.profiles
+    }
+
+    /// Direct read access to the KNN table (metrics).
+    #[must_use]
+    pub fn knn_table(&self) -> &KnnTable {
+        &self.knn
+    }
+
+    /// Average view similarity across the KNN table (Figures 3–4).
+    #[must_use]
+    pub fn average_view_similarity(&self) -> f64 {
+        self.knn.average_view_similarity()
+    }
+
+    /// Builds the personalization job for `user` (arrow 2 of Figure 1).
+    ///
+    /// The sampler assembles the candidate set; candidate user ids are
+    /// pseudonymized under the current anonymization epoch when the config
+    /// says so. An unknown user receives an empty profile and whatever the
+    /// random leg of the sampler provides — exactly how cold-start behaves
+    /// in the paper (new users start with random neighbours).
+    #[must_use]
+    pub fn build_job(&self, user: UserId) -> PersonalizationJob {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        let ctx = SamplerContext {
+            profiles: &self.profiles,
+            knn: &self.knn,
+            directory: &self.directory,
+        };
+        let candidates = {
+            let mut rng = self.rng.lock();
+            self.sampler.sample(
+                user,
+                self.config.k,
+                self.config.random_candidates,
+                &ctx,
+                &mut rng,
+            )
+        };
+
+        let mut profile = self.profiles.get(user).unwrap_or_default();
+        let candidates = self.finalize_candidates(candidates);
+        if let Some(cap) = self.config.profile_cap {
+            profile.truncate_liked(cap);
+        }
+        PersonalizationJob {
+            uid: user,
+            k: self.config.k,
+            r: self.config.r,
+            profile,
+            candidates,
+        }
+    }
+
+    /// Applies profile capping and pseudonymization to a raw candidate set.
+    fn finalize_candidates(&self, raw: CandidateSet) -> CandidateSet {
+        let cap = self.config.profile_cap;
+        if !self.config.anonymize_users && cap.is_none() {
+            return raw;
+        }
+        let mut anonymizer = self.anonymizer.lock();
+        raw.into_vec()
+            .into_iter()
+            .map(|mut c| {
+                if let Some(cap) = cap {
+                    c.profile.truncate_liked(cap);
+                }
+                let user = if self.config.anonymize_users {
+                    anonymizer.pseudonymize(c.user)
+                } else {
+                    c.user
+                };
+                (user, c.profile)
+            })
+            .collect()
+    }
+
+    /// Applies a KNN update sent back by a widget (arrow 3 of Figure 1).
+    ///
+    /// Pseudonymous neighbour ids are resolved through the anonymous
+    /// mapping; pseudonyms from epochs older than one reshuffle are dropped
+    /// (the widget will simply refine again on its next request).
+    pub fn apply_update(&self, update: &KnnUpdate) {
+        self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        let hood = if self.config.anonymize_users {
+            let anonymizer = self.anonymizer.lock();
+            Neighborhood::from_neighbors(update.neighbors.iter().filter_map(|n| {
+                anonymizer.resolve(n.user).map(|real| hyrec_core::Neighbor {
+                    user: real,
+                    similarity: n.similarity,
+                })
+            }))
+        } else {
+            update.to_neighborhood()
+        };
+        self.knn.update(update.uid, hood);
+    }
+
+    /// Rotates the anonymization epoch ("periodically, the identifiers …
+    /// are anonymously shuffled"). Call on a timer in deployments; the
+    /// simulator calls it per simulated epoch.
+    pub fn rotate_pseudonyms(&self) {
+        self.anonymizer.lock().reshuffle();
+    }
+
+    /// Number of personalization jobs built so far.
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Number of KNN updates applied so far.
+    #[must_use]
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied.load(Ordering::Relaxed)
+    }
+}
+
+/// Builder wiring [`HyRecConfig`] straight into a server.
+#[derive(Debug)]
+pub struct ServerBuilder {
+    config: crate::config::HyRecConfigBuilder,
+}
+
+impl ServerBuilder {
+    /// Sets the neighbourhood size `k`.
+    #[must_use]
+    pub fn k(mut self, k: usize) -> Self {
+        self.config = self.config.k(k);
+        self
+    }
+
+    /// Sets the recommendation list size `r`.
+    #[must_use]
+    pub fn r(mut self, r: usize) -> Self {
+        self.config = self.config.r(r);
+        self
+    }
+
+    /// Enables or disables pseudonymization.
+    #[must_use]
+    pub fn anonymize_users(mut self, on: bool) -> Self {
+        self.config = self.config.anonymize_users(on);
+        self
+    }
+
+    /// Caps profile sizes in jobs.
+    #[must_use]
+    pub fn profile_cap(mut self, cap: usize) -> Self {
+        self.config = self.config.profile_cap(cap);
+        self
+    }
+
+    /// Seeds the sampler RNG.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.seed(seed);
+        self
+    }
+
+    /// Builds the server.
+    #[must_use]
+    pub fn build(self) -> HyRecServer {
+        HyRecServer::with_config(self.config.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyrec_client::Widget;
+
+    fn populated_server(anonymize: bool) -> HyRecServer {
+        let server = HyRecServer::with_config(
+            HyRecConfig::builder().k(3).r(5).anonymize_users(anonymize).seed(9).build(),
+        );
+        // Three taste groups of users.
+        for u in 0..30u32 {
+            let base = (u % 3) * 100;
+            for i in 0..8u32 {
+                server.record(UserId(u), ItemId(base + i), Vote::Like);
+            }
+        }
+        server
+    }
+
+    fn converge(server: &HyRecServer, widget: &Widget, rounds: usize) {
+        for _ in 0..rounds {
+            for u in 0..30u32 {
+                let job = server.build_job(UserId(u));
+                let out = widget.run_job(&job);
+                server.apply_update(&out.update);
+            }
+        }
+    }
+
+    #[test]
+    fn full_loop_converges_to_taste_groups() {
+        let server = populated_server(false);
+        let widget = Widget::new();
+        converge(&server, &widget, 5);
+
+        // After a few gossip rounds every user's KNN is within their group.
+        for u in 0..30u32 {
+            let hood = server.knn_of(UserId(u)).expect("knn exists");
+            assert!(!hood.is_empty());
+            for n in hood.iter() {
+                assert_eq!(
+                    n.user.0 % 3,
+                    u % 3,
+                    "u{u} has out-of-group neighbour {}",
+                    n.user
+                );
+                assert!((n.similarity - 1.0).abs() < 1e-9);
+            }
+        }
+        assert!(server.average_view_similarity() > 0.99);
+    }
+
+    #[test]
+    fn anonymized_loop_converges_identically() {
+        let server = populated_server(true);
+        let widget = Widget::new();
+        converge(&server, &widget, 5);
+        assert!(server.average_view_similarity() > 0.99);
+        // And the KNN table holds *real* ids, not pseudonyms.
+        for u in 0..30u32 {
+            let hood = server.knn_of(UserId(u)).unwrap();
+            for n in hood.iter() {
+                assert!(n.user.0 < 30, "pseudonym leaked into KNN table: {}", n.user);
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_never_leak_real_candidate_ids_when_anonymized() {
+        let server = populated_server(true);
+        let widget = Widget::new();
+        converge(&server, &widget, 2);
+        let job = server.build_job(UserId(0));
+        for c in job.candidates.iter() {
+            assert!(c.user.0 >= 30, "real id {} leaked into job", c.user);
+        }
+    }
+
+    #[test]
+    fn updates_across_one_reshuffle_still_resolve() {
+        let server = populated_server(true);
+        let widget = Widget::new();
+        let job = server.build_job(UserId(0));
+        server.rotate_pseudonyms();
+        let out = widget.run_job(&job);
+        server.apply_update(&out.update);
+        let hood = server.knn_of(UserId(0)).unwrap();
+        assert!(!hood.is_empty(), "one-epoch-old pseudonyms must resolve");
+    }
+
+    #[test]
+    fn updates_across_two_reshuffles_are_dropped() {
+        let server = populated_server(true);
+        let widget = Widget::new();
+        let job = server.build_job(UserId(0));
+        server.rotate_pseudonyms();
+        server.rotate_pseudonyms();
+        let out = widget.run_job(&job);
+        server.apply_update(&out.update);
+        let hood = server.knn_of(UserId(0)).unwrap();
+        assert!(hood.is_empty(), "stale pseudonyms must not resolve");
+    }
+
+    #[test]
+    fn cold_start_user_gets_bootstrap_job() {
+        let server = populated_server(false);
+        let job = server.build_job(UserId(999));
+        assert!(job.profile.is_empty());
+        assert!(!job.candidates.is_empty(), "random leg must bootstrap");
+        assert!(!job.candidates.contains(UserId(999)));
+    }
+
+    #[test]
+    fn profile_cap_bounds_job_sizes() {
+        let server = HyRecServer::with_config(
+            HyRecConfig::builder().k(2).profile_cap(3).seed(1).build(),
+        );
+        for u in 0..5u32 {
+            for i in 0..50u32 {
+                server.record(UserId(u), ItemId(i), Vote::Like);
+            }
+        }
+        let job = server.build_job(UserId(0));
+        assert!(job.profile.liked_len() <= 3);
+        for c in job.candidates.iter() {
+            assert!(c.profile.liked_len() <= 3);
+        }
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let server = populated_server(false);
+        let widget = Widget::new();
+        let job = server.build_job(UserId(1));
+        let out = widget.run_job(&job);
+        server.apply_update(&out.update);
+        assert_eq!(server.requests_served(), 1);
+        assert_eq!(server.updates_applied(), 1);
+        assert_eq!(server.user_count(), 30);
+    }
+
+    #[test]
+    fn record_returns_change_flag() {
+        let server = HyRecServer::new();
+        assert!(server.record(UserId(1), ItemId(1), Vote::Like));
+        assert!(!server.record(UserId(1), ItemId(1), Vote::Like));
+        assert!(server.record(UserId(1), ItemId(1), Vote::Dislike));
+    }
+}

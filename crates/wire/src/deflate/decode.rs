@@ -1,0 +1,254 @@
+//! The DEFLATE decompressor (inflate): stored, fixed and dynamic blocks.
+
+use super::bitio::BitReader;
+use super::huffman::{fixed_distance_lengths, fixed_literal_lengths, Decoder};
+use super::{CLC_ORDER, DIST_CODES, LENGTH_CODES};
+use crate::error::WireError;
+
+/// Hard cap on decompressed output, guarding against zip bombs.
+const MAX_OUTPUT: usize = 1 << 30;
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::Deflate`] on malformed streams: bad block types,
+/// invalid Huffman tables, out-of-window distances, truncation, or output
+/// exceeding the 1 GiB safety cap.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, WireError> {
+    let mut reader = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = reader
+            .read_bits(1)
+            .ok_or_else(|| WireError::Deflate("missing block header".into()))?;
+        let btype = reader
+            .read_bits(2)
+            .ok_or_else(|| WireError::Deflate("missing block type".into()))?;
+        match btype {
+            0b00 => inflate_stored(&mut reader, &mut out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_literal_lengths())
+                    .expect("fixed table is valid");
+                let dist = Decoder::from_lengths(&fixed_distance_lengths())
+                    .expect("fixed table is valid");
+                inflate_block(&mut reader, &mut out, &lit, Some(&dist))?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &lit, dist.as_ref())?;
+            }
+            _ => return Err(WireError::Deflate("reserved block type 11".into())),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), WireError> {
+    reader.align_to_byte();
+    let len = reader
+        .read_bits(16)
+        .ok_or_else(|| WireError::Deflate("truncated stored LEN".into()))? as u16;
+    let nlen = reader
+        .read_bits(16)
+        .ok_or_else(|| WireError::Deflate("truncated stored NLEN".into()))? as u16;
+    if len != !nlen {
+        return Err(WireError::Deflate("stored LEN/NLEN mismatch".into()));
+    }
+    let bytes = reader
+        .read_bytes(len as usize)
+        .ok_or_else(|| WireError::Deflate("truncated stored payload".into()))?;
+    guard_output(out.len() + bytes.len())?;
+    out.extend_from_slice(&bytes);
+    Ok(())
+}
+
+fn guard_output(len: usize) -> Result<(), WireError> {
+    if len > MAX_OUTPUT {
+        Err(WireError::Deflate("output exceeds safety cap".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn read_dynamic_tables(
+    reader: &mut BitReader<'_>,
+) -> Result<(Decoder, Option<Decoder>), WireError> {
+    let trunc = || WireError::Deflate("truncated dynamic header".into());
+    let hlit = reader.read_bits(5).ok_or_else(trunc)? as usize + 257;
+    let hdist = reader.read_bits(5).ok_or_else(trunc)? as usize + 1;
+    let hclen = reader.read_bits(4).ok_or_else(trunc)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(WireError::Deflate("dynamic header counts out of range".into()));
+    }
+
+    let mut clc_lengths = vec![0u8; 19];
+    for &order in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[order] = reader.read_bits(3).ok_or_else(trunc)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lengths)?;
+
+    // Decode hlit + hdist code lengths with the code-length code.
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let symbol = clc.decode(reader)?;
+        match symbol {
+            0..=15 => lengths.push(symbol as u8),
+            16 => {
+                let &prev = lengths
+                    .last()
+                    .ok_or_else(|| WireError::Deflate("repeat with no previous length".into()))?;
+                let count = 3 + reader.read_bits(2).ok_or_else(trunc)?;
+                for _ in 0..count {
+                    lengths.push(prev);
+                }
+            }
+            17 => {
+                let count = 3 + reader.read_bits(3).ok_or_else(trunc)?;
+                for _ in 0..count {
+                    lengths.push(0);
+                }
+            }
+            18 => {
+                let count = 11 + reader.read_bits(7).ok_or_else(trunc)?;
+                for _ in 0..count {
+                    lengths.push(0);
+                }
+            }
+            _ => return Err(WireError::Deflate("invalid code-length symbol".into())),
+        }
+    }
+    if lengths.len() != total {
+        return Err(WireError::Deflate("code-length run overflows header".into()));
+    }
+
+    let (lit_lengths, dist_lengths) = lengths.split_at(hlit);
+    if lit_lengths[256] == 0 {
+        return Err(WireError::Deflate("end-of-block symbol has no code".into()));
+    }
+    let lit = Decoder::from_lengths(lit_lengths)?;
+    // A block with no back-references legally has zero distance codes.
+    let dist = if dist_lengths.iter().all(|&l| l == 0) {
+        None
+    } else {
+        Some(Decoder::from_lengths(dist_lengths)?)
+    };
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Decoder,
+    dist: Option<&Decoder>,
+) -> Result<(), WireError> {
+    let trunc = || WireError::Deflate("truncated block body".into());
+    loop {
+        let symbol = lit.decode(reader)?;
+        match symbol {
+            0..=255 => {
+                guard_output(out.len() + 1)?;
+                out.push(symbol as u8);
+            }
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_CODES[symbol as usize - 257];
+                let len = u32::from(base)
+                    + if extra > 0 {
+                        reader.read_bits(u32::from(extra)).ok_or_else(trunc)?
+                    } else {
+                        0
+                    };
+                let dist_decoder = dist.ok_or_else(|| {
+                    WireError::Deflate("match in block with no distance code".into())
+                })?;
+                let dsym = dist_decoder.decode(reader)?;
+                if dsym >= 30 {
+                    return Err(WireError::Deflate("invalid distance symbol".into()));
+                }
+                let (dbase, dextra) = DIST_CODES[dsym as usize];
+                let distance = u32::from(dbase)
+                    + if dextra > 0 {
+                        reader.read_bits(u32::from(dextra)).ok_or_else(trunc)?
+                    } else {
+                        0
+                    };
+                let distance = distance as usize;
+                if distance == 0 || distance > out.len() {
+                    return Err(WireError::Deflate("distance beyond output start".into()));
+                }
+                guard_output(out.len() + len as usize)?;
+                let start = out.len() - distance;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(WireError::Deflate("invalid literal/length symbol".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::lz77::Effort;
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11.
+        let err = decompress(&[0b0000_0111]).unwrap_err();
+        assert!(matches!(err, WireError::Deflate(_)));
+    }
+
+    #[test]
+    fn rejects_len_nlen_mismatch() {
+        // BFINAL=1, BTYPE=00, then LEN=1, NLEN=0 (not complement).
+        let bytes = [0b0000_0001u8, 0x01, 0x00, 0x00, 0x00, 0xAA];
+        assert!(decompress(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_streams() {
+        let data = b"some reasonably long test payload, repeated: ".repeat(20);
+        let packed = crate::deflate::compress(&data, Effort::DEFAULT);
+        // Any strict prefix must fail, not panic or return wrong data.
+        for cut in [1, packed.len() / 4, packed.len() / 2, packed.len() - 1] {
+            let result = decompress(&packed[..cut]);
+            if let Ok(out) = result {
+                assert_ne!(out, data, "prefix of {cut} bytes decoded to full data");
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_random_inputs_never_panic() {
+        let mut state = 42u64;
+        for round in 0..500 {
+            let len = (round % 64) + 1;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 56) as u8
+                })
+                .collect();
+            let _ = decompress(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn multi_block_stored_stream() {
+        let data = vec![7u8; 150_000]; // forces >2 stored chunks if stored used
+        let packed = crate::deflate::compress(&data, Effort::DEFAULT);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+}

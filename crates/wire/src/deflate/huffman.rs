@@ -1,0 +1,439 @@
+//! Canonical Huffman coding for DEFLATE (RFC 1951 §3.2.2).
+//!
+//! The encoder side builds length-limited code lengths from symbol
+//! frequencies (Huffman tree + zlib-style depth fixup), then assigns
+//! canonical codes. The decoder side turns code lengths into a flat lookup
+//! table indexed by bit-reversed codes, matching the LSB-first bit reader.
+
+use super::bitio::{reverse_bits, BitReader};
+use crate::error::WireError;
+
+/// Maximum code length permitted by DEFLATE.
+pub const MAX_BITS: usize = 15;
+
+/// Computes length-limited Huffman code lengths from frequencies.
+///
+/// Returns one length per symbol (0 = symbol unused). At most `max_bits`
+/// bits per code; the result always satisfies Kraft's inequality with
+/// equality when ≥ 2 symbols are used (a complete code, as DEFLATE
+/// requires for dynamic blocks).
+///
+/// A single used symbol gets length 1 (DEFLATE requires at least one bit).
+///
+/// # Panics
+///
+/// Panics if `max_bits` cannot accommodate the alphabet
+/// (`symbols > 2^max_bits`), which static call sites never do.
+#[must_use]
+pub fn build_code_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
+    let n = freqs.len();
+    assert!(n <= (1usize << max_bits), "alphabet too large for max_bits");
+    let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; n];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Standard Huffman via two-queue / heap construction.
+    #[derive(Debug)]
+    struct Node {
+        freq: u64,
+        // Leaf: symbol index; Internal: children indices into `nodes`.
+        kind: NodeKind,
+    }
+    #[derive(Debug)]
+    enum NodeKind {
+        Leaf(usize),
+        Internal(usize, usize),
+    }
+
+    let mut nodes: Vec<Node> = used
+        .iter()
+        .map(|&s| Node { freq: freqs[s], kind: NodeKind::Leaf(s) })
+        .collect();
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> =
+        nodes.iter().enumerate().map(|(i, node)| (Reverse(node.freq), i)).collect();
+
+    while heap.len() > 1 {
+        let (Reverse(fa), a) = heap.pop().expect("heap len checked");
+        let (Reverse(fb), b) = heap.pop().expect("heap len checked");
+        let merged = Node { freq: fa + fb, kind: NodeKind::Internal(a, b) };
+        nodes.push(merged);
+        heap.push((Reverse(fa + fb), nodes.len() - 1));
+    }
+    let root = heap.pop().expect("at least one node").1;
+
+    // Depth-first to find leaf depths.
+    let mut depth_of_symbol: Vec<(usize, usize)> = Vec::with_capacity(used.len());
+    let mut stack = vec![(root, 0usize)];
+    while let Some((idx, depth)) = stack.pop() {
+        match nodes[idx].kind {
+            NodeKind::Leaf(symbol) => depth_of_symbol.push((symbol, depth.max(1))),
+            NodeKind::Internal(a, b) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+        }
+    }
+
+    // Clamp overlong codes to max_bits, then repair Kraft directly.
+    for &(symbol, depth) in &depth_of_symbol {
+        lengths[symbol] = depth.min(max_bits) as u8;
+    }
+
+    // Kraft sum in units of 2^-max_bits; the code is feasible iff k <= cap
+    // and complete (required for DEFLATE dynamic blocks) iff k == cap.
+    let cap = 1u64 << max_bits;
+    let weight = |l: u8| 1u64 << (max_bits - l as usize);
+    let mut k: u64 = used.iter().map(|&s| weight(lengths[s])).sum();
+
+    // Phase 1 — oversubscribed: lengthen codes until k <= cap. Lengthening
+    // the least frequent symbol costs the least compression; a symbol with
+    // length < max_bits always exists while k > cap (if all codes were at
+    // max_bits, k = used.len() <= cap by the alphabet-size assertion).
+    if k > cap {
+        let mut by_rarity: Vec<usize> = used.clone();
+        by_rarity.sort_by(|&a, &b| freqs[a].cmp(&freqs[b]).then(a.cmp(&b)));
+        'outer: while k > cap {
+            for &s in &by_rarity {
+                if (lengths[s] as usize) < max_bits {
+                    k -= weight(lengths[s]) / 2; // halving the weight
+                    lengths[s] += 1;
+                    continue 'outer;
+                }
+            }
+            unreachable!("feasible code must exist for n <= 2^max_bits");
+        }
+    }
+
+    // Phase 2 — undersubscribed: shorten codes until k == cap. All weights
+    // are multiples of the smallest weight (the longest code), so the gap is
+    // always absorbable by shortening a longest code; prefer the most
+    // frequent symbol among them for compression.
+    while k < cap {
+        let gap = cap - k;
+        let candidate = used
+            .iter()
+            .copied()
+            .filter(|&s| lengths[s] > 1 && weight(lengths[s]) <= gap)
+            .max_by_key(|&s| (lengths[s], freqs[s], std::cmp::Reverse(s)));
+        match candidate {
+            Some(s) => {
+                k += weight(lengths[s]); // doubling the weight
+                lengths[s] -= 1;
+            }
+            None => break, // only length-1 codes remain; k == cap for n >= 2
+        }
+    }
+
+    debug_assert!(kraft_ok(&lengths, max_bits));
+    lengths
+}
+
+fn kraft_ok(lengths: &[u8], max_bits: usize) -> bool {
+    let mut sum = 0u64;
+    for &l in lengths {
+        if l > 0 {
+            sum += 1u64 << (max_bits - l as usize);
+        }
+    }
+    sum <= 1u64 << max_bits
+}
+
+/// Canonical codes (bit-reversed, ready for the LSB-first writer) for a set
+/// of code lengths: `codes[s]` is the reversed code of symbol `s`.
+///
+/// Follows RFC 1951 §3.2.2 exactly: codes of the same length are consecutive
+/// integers in symbol order.
+#[must_use]
+pub fn assign_codes(lengths: &[u8]) -> Vec<u16> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u16; max + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u16; max + 2];
+    let mut code = 0u16;
+    for bits in 1..=max {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                reverse_bits(u32::from(c), u32::from(l)) as u16
+            }
+        })
+        .collect()
+}
+
+/// A flat Huffman decoding table: peek [`MAX_BITS`] bits, look up, consume.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `entries[peeked_bits] = (symbol, code_length)`; length 0 = invalid.
+    entries: Vec<(u16, u8)>,
+    /// Table index width (= max code length used).
+    table_bits: u32,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Deflate`] when the lengths oversubscribe the code
+    /// space (invalid dynamic header) or no symbol is used.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, WireError> {
+        let max = lengths.iter().copied().max().unwrap_or(0) as u32;
+        if max == 0 {
+            return Err(WireError::Deflate("huffman table with no codes".into()));
+        }
+        if max as usize > MAX_BITS {
+            return Err(WireError::Deflate("code length exceeds 15 bits".into()));
+        }
+        // Oversubscription check (Kraft).
+        let mut kraft = 0u64;
+        for &l in lengths {
+            if l > 0 {
+                kraft += 1u64 << (MAX_BITS - l as usize);
+            }
+        }
+        if kraft > 1u64 << MAX_BITS {
+            return Err(WireError::Deflate("oversubscribed huffman code".into()));
+        }
+
+        let codes = assign_codes(lengths);
+        let mut entries = vec![(0u16, 0u8); 1 << max];
+        for (symbol, (&len, &code)) in lengths.iter().zip(codes.iter()).enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let len32 = u32::from(len);
+            // `code` is already bit-reversed; replicate across all indices
+            // that share its low `len` bits.
+            let step = 1usize << len32;
+            let mut index = code as usize;
+            while index < entries.len() {
+                entries[index] = (symbol as u16, len);
+                index += step;
+            }
+        }
+        Ok(Self { entries, table_bits: max })
+    }
+
+    /// Decodes one symbol from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Deflate`] on invalid codes or truncated input.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, WireError> {
+        let peeked = reader.peek_bits(self.table_bits);
+        let (symbol, len) = self.entries[peeked as usize];
+        if len == 0 {
+            return Err(WireError::Deflate("invalid huffman code".into()));
+        }
+        if !reader.consume_bits(u32::from(len)) {
+            return Err(WireError::Deflate("truncated huffman code".into()));
+        }
+        Ok(symbol)
+    }
+}
+
+/// The fixed literal/length code lengths of RFC 1951 §3.2.6.
+#[must_use]
+pub fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![0u8; 288];
+    for (i, l) in lengths.iter_mut().enumerate() {
+        *l = match i {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    lengths
+}
+
+/// The fixed distance code lengths (all 5 bits, 30 codes + 2 reserved).
+#[must_use]
+pub fn fixed_distance_lengths() -> Vec<u8> {
+    vec![5u8; 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::bitio::BitWriter;
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let mut freqs = vec![0u64; 10];
+        freqs[4] = 100;
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert_eq!(lengths[4], 1);
+        assert!(lengths.iter().enumerate().all(|(i, &l)| i == 4 || l == 0));
+    }
+
+    #[test]
+    fn empty_frequencies_yield_no_codes() {
+        let lengths = build_code_lengths(&[0, 0, 0], MAX_BITS);
+        assert!(lengths.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn frequent_symbols_get_shorter_codes() {
+        let freqs = vec![100u64, 1, 1, 1];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[0] <= lengths[3]);
+    }
+
+    #[test]
+    fn length_limit_is_respected_on_skewed_input() {
+        // Fibonacci-like frequencies force deep Huffman trees.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        assert!(lengths.iter().all(|&l| l as usize <= MAX_BITS));
+        // Kraft equality: complete code.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (MAX_BITS - l as usize))
+            .sum();
+        assert_eq!(kraft, 1u64 << MAX_BITS);
+    }
+
+    #[test]
+    fn canonical_codes_match_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) ->
+        // codes 010,011,100,101,110,00,1110,1111 (before reversal).
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let codes = assign_codes(&lengths);
+        let expected = [0b010u32, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(
+                u32::from(codes[i]),
+                reverse_bits(e, u32::from(lengths[i])),
+                "symbol {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let freqs = vec![5u64, 20, 1, 7, 0, 13];
+        let lengths = build_code_lengths(&freqs, MAX_BITS);
+        let codes = assign_codes(&lengths);
+        let decoder = Decoder::from_lengths(&lengths).unwrap();
+
+        let symbols = [1u16, 0, 5, 3, 1, 1, 2, 5, 0];
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            w.write_bits(u32::from(codes[s as usize]), u32::from(lengths[s as usize]));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(decoder.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed() {
+        // Three symbols of length 1 oversubscribe.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decoder_rejects_empty() {
+        assert!(Decoder::from_lengths(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn fixed_tables_have_correct_shape() {
+        let lit = fixed_literal_lengths();
+        assert_eq!(lit.len(), 288);
+        assert_eq!(lit[0], 8);
+        assert_eq!(lit[144], 9);
+        assert_eq!(lit[256], 7);
+        assert_eq!(lit[280], 8);
+        let dist = fixed_distance_lengths();
+        assert_eq!(dist.len(), 32);
+        assert!(dist.iter().all(|&l| l == 5));
+        // Both must form valid decoders.
+        Decoder::from_lengths(&lit).unwrap();
+        Decoder::from_lengths(&dist).unwrap();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn lengths_satisfy_kraft(freqs in proptest::collection::vec(0u64..1000, 1..64)) {
+                let lengths = build_code_lengths(&freqs, MAX_BITS);
+                let kraft: u64 = lengths
+                    .iter()
+                    .filter(|&&l| l > 0)
+                    .map(|&l| 1u64 << (MAX_BITS - l as usize))
+                    .sum();
+                prop_assert!(kraft <= 1u64 << MAX_BITS);
+                let used = freqs.iter().filter(|&&f| f > 0).count();
+                if used >= 2 {
+                    prop_assert_eq!(kraft, 1u64 << MAX_BITS); // complete code
+                }
+            }
+
+            #[test]
+            fn random_symbol_stream_round_trips(
+                freqs in proptest::collection::vec(0u64..50, 2..40),
+                picks in proptest::collection::vec(any::<usize>(), 1..200),
+            ) {
+                let used: Vec<usize> =
+                    (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+                prop_assume!(used.len() >= 2);
+                let lengths = build_code_lengths(&freqs, MAX_BITS);
+                let codes = assign_codes(&lengths);
+                let decoder = Decoder::from_lengths(&lengths).unwrap();
+
+                let symbols: Vec<u16> =
+                    picks.iter().map(|&p| used[p % used.len()] as u16).collect();
+                let mut w = BitWriter::new();
+                for &s in &symbols {
+                    w.write_bits(
+                        u32::from(codes[s as usize]),
+                        u32::from(lengths[s as usize]),
+                    );
+                }
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes);
+                for &s in &symbols {
+                    prop_assert_eq!(decoder.decode(&mut r).unwrap(), s);
+                }
+            }
+        }
+    }
+}

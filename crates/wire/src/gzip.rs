@@ -1,0 +1,174 @@
+//! gzip (RFC 1952) framing over our DEFLATE implementation.
+//!
+//! The paper's server compresses JSON messages "on the fly" with gzip and
+//! browsers decompress natively (Section 4.2). This module provides the same
+//! frame: 10-byte header, DEFLATE payload, CRC-32 and length trailer.
+
+use crate::deflate::{self, lz77::Effort};
+use crate::error::WireError;
+
+/// CRC-32 (IEEE 802.3) used by the gzip trailer; see [`crate::crc`].
+pub use crate::crc::crc32;
+
+/// The fixed gzip header we emit: deflate method, no flags, no mtime,
+/// "unknown" OS — byte-stable so message sizes are reproducible. Public so
+/// chunk-assembling encoders (`hyrec_server::encoder`) can frame members
+/// themselves.
+pub const HEADER: [u8; 10] = [0x1F, 0x8B, 0x08, 0, 0, 0, 0, 0, 0, 0xFF];
+
+/// Compresses `data` into a gzip member with default effort.
+#[must_use]
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, Effort::DEFAULT)
+}
+
+/// Compresses `data` into a gzip member with explicit matcher effort.
+#[must_use]
+pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
+    let body = deflate::compress(data, effort);
+    let mut out = Vec::with_capacity(HEADER.len() + body.len() + 8);
+    out.extend_from_slice(&HEADER);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decompresses a single-member gzip frame, verifying CRC-32 and length.
+///
+/// # Errors
+///
+/// Returns [`WireError::Gzip`] on bad magic/method/flags or trailer
+/// mismatches, and [`WireError::Deflate`] if the payload is malformed.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, WireError> {
+    if data.len() < 18 {
+        return Err(WireError::Gzip("frame shorter than header + trailer".into()));
+    }
+    if data[0] != 0x1F || data[1] != 0x8B {
+        return Err(WireError::Gzip("bad magic bytes".into()));
+    }
+    if data[2] != 0x08 {
+        return Err(WireError::Gzip(format!("unsupported method {}", data[2])));
+    }
+    let flags = data[3];
+    let mut offset = 10usize;
+    // FEXTRA
+    if flags & 0x04 != 0 {
+        if data.len() < offset + 2 {
+            return Err(WireError::Gzip("truncated FEXTRA".into()));
+        }
+        let xlen = u16::from_le_bytes([data[offset], data[offset + 1]]) as usize;
+        offset += 2 + xlen;
+    }
+    // FNAME, FCOMMENT: zero-terminated strings.
+    for flag in [0x08u8, 0x10] {
+        if flags & flag != 0 {
+            let end = data[offset..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| WireError::Gzip("unterminated name/comment".into()))?;
+            offset += end + 1;
+        }
+    }
+    // FHCRC
+    if flags & 0x02 != 0 {
+        offset += 2;
+    }
+    if data.len() < offset + 8 {
+        return Err(WireError::Gzip("truncated payload".into()));
+    }
+    let payload = &data[offset..data.len() - 8];
+    let out = deflate::decompress(payload)?;
+    let trailer = &data[data.len() - 8..];
+    let expect_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let expect_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if crc32(&out) != expect_crc {
+        return Err(WireError::Gzip("crc mismatch".into()));
+    }
+    if out.len() as u32 != expect_len {
+        return Err(WireError::Gzip("length mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = b"{\"uid\":7,\"profile\":[1,2,3]}".repeat(50);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let packed = compress(b"");
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let data = b"sensitive payload that must be integrity checked".repeat(10);
+        let mut packed = compress(&data);
+        // Flip a payload byte: either inflate fails or the CRC catches it.
+        let middle = packed.len() / 2;
+        packed[middle] ^= 0xFF;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn detects_bad_magic_and_short_input() {
+        assert!(decompress(&[0u8; 4]).is_err());
+        let mut packed = compress(b"x");
+        packed[0] = 0;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_method() {
+        let mut packed = compress(b"x");
+        packed[2] = 0x07;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn accepts_fname_flag() {
+        // Hand-build a frame with FNAME set.
+        let inner = compress(b"hello world hello world");
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&[0x1F, 0x8B, 0x08, 0x08, 0, 0, 0, 0, 0, 0xFF]);
+        framed.extend_from_slice(b"file.json\0");
+        framed.extend_from_slice(&inner[10..]); // deflate body + trailer
+        assert_eq!(decompress(&framed).unwrap(), b"hello world hello world");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn gzip_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+                let packed = compress(&data);
+                prop_assert_eq!(decompress(&packed).unwrap(), data);
+            }
+
+            #[test]
+            fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+                let _ = decompress(&data);
+            }
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Recursive-descent JSON parser (RFC 8259).
+//!
+//! Handles the full grammar: nested containers, all escape sequences
+//! including `\uXXXX` surrogate pairs, and scientific-notation numbers.
+//! Depth is bounded to keep adversarial inputs from blowing the stack — the
+//! widget runs inside a browser tab and must never crash the page.
+
+use super::JsonValue;
+use crate::error::WireError;
+
+/// Maximum container nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 256;
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns [`WireError::Json`] with the byte offset of the failure.
+pub fn parse(text: &str) -> Result<JsonValue, WireError> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> WireError {
+        WireError::Json { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, WireError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, WireError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(entries)),
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => out.push(self.escape()?),
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, WireError> {
+        match self.bump() {
+            Some(b'"') => Ok('"'),
+            Some(b'\\') => Ok('\\'),
+            Some(b'/') => Ok('/'),
+            Some(b'b') => Ok('\u{0008}'),
+            Some(b'f') => Ok('\u{000C}'),
+            Some(b'n') => Ok('\n'),
+            Some(b'r') => Ok('\r'),
+            Some(b't') => Ok('\t'),
+            Some(b'u') => {
+                let high = self.hex4()?;
+                if (0xD800..0xDC00).contains(&high) {
+                    // High surrogate: must be followed by \uDC00..DFFF.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+                } else if (0xDC00..0xE000).contains(&high) {
+                    Err(self.err("unpaired low surrogate"))
+                } else {
+                    char::from_u32(high).ok_or_else(|| self.err("invalid \\u escape"))
+                }
+            }
+            _ => Err(self.err("invalid escape sequence")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0 | [1-9][0-9]*
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse("-0.5e2").unwrap(), JsonValue::Number(-50.0));
+        assert_eq!(parse(r#""hi""#).unwrap(), JsonValue::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers_with_whitespace() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().as_object().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let v = parse(r#""a\nb\t\"c\\dA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\nb\t\"c\\dA"));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "", "{", "[", "tru", "01", "1.", "1e", "\"", "\"\\q\"", "{\"a\"}",
+            "[1,]", "{\"a\":1,}", "1 2", "\"\\ud800\"", "nul", "+1", ".5",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_depth() {
+        let deep = "[".repeat(300) + &"]".repeat(300);
+        assert!(matches!(parse(&deep), Err(WireError::Json { .. })));
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse(r#"{"a": @}"#).unwrap_err();
+        match err {
+            WireError::Json { offset, .. } => assert_eq!(offset, 6),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use crate::json::object;
+        use proptest::prelude::*;
+
+        fn arb_json(depth: u32) -> BoxedStrategy<JsonValue> {
+            let leaf = prop_oneof![
+                Just(JsonValue::Null),
+                any::<bool>().prop_map(JsonValue::Bool),
+                (-1e9f64..1e9).prop_map(JsonValue::Number),
+                any::<i32>().prop_map(|n| JsonValue::Number(f64::from(n))),
+                "[a-zA-Z0-9 _\\-\"\\\\\n\t\u{00e9}\u{4e16}]{0,20}"
+                    .prop_map(JsonValue::String),
+            ];
+            if depth == 0 {
+                leaf.boxed()
+            } else {
+                prop_oneof![
+                    4 => leaf,
+                    1 => proptest::collection::vec(arb_json(depth - 1), 0..5)
+                        .prop_map(JsonValue::Array),
+                    1 => proptest::collection::vec(
+                        ("[a-z]{1,8}", arb_json(depth - 1)),
+                        0..5
+                    ).prop_map(|entries| object(entries)),
+                ]
+                .boxed()
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn serialize_parse_round_trips(v in arb_json(3)) {
+                let text = v.to_string();
+                let back = parse(&text).unwrap();
+                // Numbers may differ representation-wise; compare re-serialized.
+                prop_assert_eq!(back.to_string(), text);
+            }
+
+            #[test]
+            fn parser_never_panics(s in "\\PC{0,100}") {
+                let _ = parse(&s);
+            }
+        }
+    }
+}

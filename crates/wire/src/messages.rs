@@ -1,0 +1,388 @@
+//! Message schemas of the HyRec web API (Table 1 of the paper).
+//!
+//! Two messages cross the wire:
+//!
+//! * Server → widget: a [`PersonalizationJob`] answering
+//!   `GET /online/?uid=<uid>` — the requester's profile plus the candidate
+//!   set assembled by the sampler.
+//! * Widget → server: a [`KnnUpdate`] via
+//!   `GET /neighbors/?uid=<uid>&id0=<fid0>&id1=<fid1>&…` — the new KNN
+//!   selection (with similarity scores so the server can track convergence).
+//!
+//! Both serialize to the JSON shapes the paper's Jackson stack would emit,
+//! and both report their exact wire size raw and gzipped — the quantities of
+//! Figure 10 and the client-bandwidth comparison of Section 5.6.
+
+use crate::error::WireError;
+use crate::gzip;
+use crate::json::{object, JsonValue};
+use hyrec_core::{CandidateSet, ItemId, Neighbor, Neighborhood, Profile, UserId};
+
+/// The personalization job the orchestrator ships to a widget (Section 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersonalizationJob {
+    /// Pseudonymous id of the requesting user.
+    pub uid: UserId,
+    /// Neighbourhood size the widget must select (system parameter `k`).
+    pub k: usize,
+    /// Number of items to recommend (system parameter `r`).
+    pub r: usize,
+    /// The requesting user's own profile `P_u`.
+    pub profile: Profile,
+    /// The candidate set `S_u` with full candidate profiles.
+    pub candidates: CandidateSet,
+}
+
+impl PersonalizationJob {
+    /// Serializes to the compact JSON wire shape.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let profile_json = |p: &Profile| -> JsonValue {
+            object([
+                ("liked", p.liked().map(|i| i.raw()).collect::<JsonValue>()),
+                ("disliked", p.disliked().map(|i| i.raw()).collect::<JsonValue>()),
+            ])
+        };
+        object([
+            ("uid", JsonValue::from(self.uid.raw())),
+            ("k", JsonValue::from(self.k)),
+            ("r", JsonValue::from(self.r)),
+            ("profile", profile_json(&self.profile)),
+            (
+                "candidates",
+                self.candidates
+                    .iter()
+                    .map(|c| {
+                        object([
+                            ("uid", JsonValue::from(c.user.raw())),
+                            ("profile", profile_json(&c.profile)),
+                        ])
+                    })
+                    .collect::<JsonValue>(),
+            ),
+        ])
+    }
+
+    /// Parses a job from its JSON wire shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Schema`] when required fields are missing or of
+    /// the wrong type.
+    pub fn from_json(value: &JsonValue) -> Result<Self, WireError> {
+        let uid = field_u32(value, "uid")?;
+        let k = field_u32(value, "k")? as usize;
+        let r = field_u32(value, "r")? as usize;
+        let profile = parse_profile(
+            value
+                .get("profile")
+                .ok_or_else(|| WireError::Schema("missing `profile`".into()))?,
+        )?;
+        let mut candidates = CandidateSet::new();
+        let list = value
+            .get("candidates")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| WireError::Schema("missing `candidates` array".into()))?;
+        for entry in list {
+            // Chunk-assembling encoders pad the array with `null` sentinels
+            // (see `hyrec_server::encoder`); skip them.
+            if entry.is_null() {
+                continue;
+            }
+            let cuid = field_u32(entry, "uid")?;
+            let cprofile = parse_profile(
+                entry
+                    .get("profile")
+                    .ok_or_else(|| WireError::Schema("candidate missing `profile`".into()))?,
+            )?;
+            candidates.insert(UserId(cuid), cprofile);
+        }
+        Ok(Self { uid: UserId(uid), k, r, profile, candidates })
+    }
+
+    /// Serialized size in bytes, raw JSON (the `json` series of Figure 10).
+    #[must_use]
+    pub fn json_bytes(&self) -> usize {
+        self.to_json().to_bytes().len()
+    }
+
+    /// Serialized size in bytes after gzip (the `gzip` series of Figure 10).
+    #[must_use]
+    pub fn gzip_bytes(&self) -> usize {
+        gzip::compress(&self.to_json().to_bytes()).len()
+    }
+
+    /// Encodes to gzipped JSON bytes, the exact on-the-wire representation.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        gzip::compress(&self.to_json().to_bytes())
+    }
+
+    /// Decodes from gzipped JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gzip, JSON and schema errors.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let raw = gzip::decompress(bytes)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| WireError::Schema("message is not utf-8".into()))?;
+        Self::from_json(&JsonValue::parse(&text)?)
+    }
+}
+
+/// The KNN selection a widget reports back (Arrow 3 in Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnUpdate {
+    /// Pseudonymous id of the reporting user.
+    pub uid: UserId,
+    /// The new neighbourhood, ranked by descending similarity.
+    pub neighbors: Vec<Neighbor>,
+}
+
+impl KnnUpdate {
+    /// Builds an update from a neighbourhood.
+    #[must_use]
+    pub fn from_neighborhood(uid: UserId, hood: &Neighborhood) -> Self {
+        Self { uid, neighbors: hood.iter().copied().collect() }
+    }
+
+    /// Converts back into a [`Neighborhood`].
+    #[must_use]
+    pub fn to_neighborhood(&self) -> Neighborhood {
+        Neighborhood::from_neighbors(self.neighbors.iter().copied())
+    }
+
+    /// Serializes to the compact JSON wire shape.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        object([
+            ("uid", JsonValue::from(self.uid.raw())),
+            (
+                "neighbors",
+                self.neighbors
+                    .iter()
+                    .map(|n| {
+                        object([
+                            ("uid", JsonValue::from(n.user.raw())),
+                            ("sim", JsonValue::from(quantize(n.similarity))),
+                        ])
+                    })
+                    .collect::<JsonValue>(),
+            ),
+        ])
+    }
+
+    /// Parses an update from its JSON wire shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Schema`] on missing or mistyped fields.
+    pub fn from_json(value: &JsonValue) -> Result<Self, WireError> {
+        let uid = field_u32(value, "uid")?;
+        let list = value
+            .get("neighbors")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| WireError::Schema("missing `neighbors` array".into()))?;
+        let mut neighbors = Vec::with_capacity(list.len());
+        for entry in list {
+            let nuid = field_u32(entry, "uid")?;
+            let sim = entry
+                .get("sim")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| WireError::Schema("neighbor missing `sim`".into()))?;
+            neighbors.push(Neighbor { user: UserId(nuid), similarity: sim });
+        }
+        Ok(Self { uid: UserId(uid), neighbors })
+    }
+
+    /// Serialized size in bytes, raw JSON.
+    #[must_use]
+    pub fn json_bytes(&self) -> usize {
+        self.to_json().to_bytes().len()
+    }
+
+    /// Encodes to gzipped JSON bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        gzip::compress(&self.to_json().to_bytes())
+    }
+
+    /// Decodes from gzipped JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates gzip, JSON and schema errors.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let raw = gzip::decompress(bytes)?;
+        let text = String::from_utf8(raw)
+            .map_err(|_| WireError::Schema("message is not utf-8".into()))?;
+        Self::from_json(&JsonValue::parse(&text)?)
+    }
+}
+
+/// Rounds similarity to 6 decimal digits so the wire shape is compact and
+/// platform-independent (f64 formatting differences never leak into bytes).
+fn quantize(sim: f64) -> f64 {
+    (sim * 1e6).round() / 1e6
+}
+
+fn field_u32(value: &JsonValue, key: &str) -> Result<u32, WireError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| WireError::Schema(format!("missing or invalid `{key}`")))
+}
+
+fn parse_profile(value: &JsonValue) -> Result<Profile, WireError> {
+    let items = |key: &str| -> Result<Vec<ItemId>, WireError> {
+        value
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| WireError::Schema(format!("profile missing `{key}`")))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(ItemId)
+                    .ok_or_else(|| WireError::Schema("non-integer item id".into()))
+            })
+            .collect()
+    };
+    Ok(Profile::from_votes(items("liked")?, items("disliked")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> PersonalizationJob {
+        let mut candidates = CandidateSet::new();
+        candidates.insert(UserId(10), Profile::from_liked([1u32, 2, 3]));
+        candidates.insert(UserId(11), Profile::from_votes([4u32], [5u32]));
+        PersonalizationJob {
+            uid: UserId(1),
+            k: 10,
+            r: 5,
+            profile: Profile::from_liked([1u32, 9]),
+            candidates,
+        }
+    }
+
+    #[test]
+    fn job_json_round_trip() {
+        let job = sample_job();
+        let back = PersonalizationJob::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn job_wire_round_trip() {
+        let job = sample_job();
+        let bytes = job.encode();
+        let back = PersonalizationJob::decode(&bytes).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    fn gzip_is_smaller_for_real_jobs() {
+        // Representative job: 120 candidates × 100-item profiles.
+        let mut candidates = CandidateSet::new();
+        for u in 0..120u32 {
+            let profile =
+                Profile::from_liked((0..100u32).map(|i| (u * 31 + i * 17) % 10_000));
+            candidates.insert(UserId(u), profile);
+        }
+        let job = PersonalizationJob {
+            uid: UserId(1),
+            k: 10,
+            r: 10,
+            profile: Profile::from_liked(0u32..100),
+            candidates,
+        };
+        let raw = job.json_bytes();
+        let packed = job.gzip_bytes();
+        assert!(packed < raw / 2, "gzip {packed} vs raw {raw}");
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let update = KnnUpdate {
+            uid: UserId(3),
+            neighbors: vec![
+                Neighbor { user: UserId(8), similarity: 0.75 },
+                Neighbor { user: UserId(9), similarity: 0.5 },
+            ],
+        };
+        let back = KnnUpdate::decode(&update.encode()).unwrap();
+        assert_eq!(back, update);
+        assert_eq!(back.to_neighborhood().len(), 2);
+    }
+
+    #[test]
+    fn update_similarity_is_quantized() {
+        let update = KnnUpdate {
+            uid: UserId(1),
+            neighbors: vec![Neighbor { user: UserId(2), similarity: 1.0 / 3.0 }],
+        };
+        let back = KnnUpdate::from_json(&update.to_json()).unwrap();
+        assert!((back.neighbors[0].similarity - 0.333_333).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let bad = JsonValue::parse(r#"{"uid": "not a number"}"#).unwrap();
+        let err = PersonalizationJob::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("uid"));
+
+        let bad = JsonValue::parse(r#"{"uid": 1, "k": 1, "r": 1}"#).unwrap();
+        assert!(PersonalizationJob::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(PersonalizationJob::decode(b"not gzip").is_err());
+        assert!(KnnUpdate::decode(&[]).is_err());
+        // Valid gzip of invalid JSON.
+        let bytes = gzip::compress(b"{nope}");
+        assert!(KnnUpdate::decode(&bytes).is_err());
+        // Valid gzip of non-utf8.
+        let bytes = gzip::compress(&[0xFF, 0xFE, 0x00]);
+        assert!(KnnUpdate::decode(&bytes).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_profile() -> impl Strategy<Value = Profile> {
+            (
+                proptest::collection::vec(0u32..5000, 0..40),
+                proptest::collection::vec(0u32..5000, 0..10),
+            )
+                .prop_map(|(liked, disliked)| Profile::from_votes(liked, disliked))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn arbitrary_jobs_round_trip(
+                uid in 0u32..1000,
+                k in 1usize..30,
+                r in 1usize..20,
+                profile in arb_profile(),
+                cands in proptest::collection::vec((0u32..500, arb_profile()), 0..20),
+            ) {
+                let candidates: CandidateSet = cands
+                    .into_iter()
+                    .map(|(u, p)| (UserId(u), p))
+                    .collect();
+                let job = PersonalizationJob { uid: UserId(uid), k, r, profile, candidates };
+                let back = PersonalizationJob::decode(&job.encode()).unwrap();
+                prop_assert_eq!(back, job);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the full HyRec loop in one file.
+//!
+//! Builds a tiny movie-recommender population, runs a few browser-side
+//! personalization rounds, and prints what each architecture component did:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hyrec::prelude::*;
+
+fn main() {
+    // --- Server bootstrap: k nearest neighbours, r recommendations.
+    // Anonymization is on by default (candidate ids in jobs are pseudonyms);
+    // we disable it here so the printed neighbour ids are recognizable.
+    let server = HyRecServer::builder()
+        .k(4)
+        .r(5)
+        .seed(7)
+        .anonymize_users(false)
+        .build();
+
+    // Four taste groups of users rating overlapping item sets. In a real
+    // deployment these arrive through the `/rate/` web API.
+    println!("== recording ratings");
+    for user in 0..40u32 {
+        let group = user % 4;
+        for i in 0..8u32 {
+            server.record(UserId(user), ItemId(group * 100 + i), Vote::Like);
+        }
+        // Everyone has also seen a couple of blockbusters.
+        server.record(UserId(user), ItemId(999), Vote::Like);
+    }
+    println!("   {} users registered", server.user_count());
+
+    // --- The hybrid loop: the server only samples and ships jobs; the
+    // widget (this process here, a browser in production) does the math.
+    let widget = Widget::new();
+    println!("== running 3 personalization rounds in the 'browser'");
+    for round in 1..=3 {
+        for user in 0..40u32 {
+            let job = server.build_job(UserId(user));
+            let output = widget.run_job(&job);
+            server.apply_update(&output.update);
+        }
+        println!(
+            "   round {round}: average view similarity {:.3}",
+            server.average_view_similarity()
+        );
+    }
+
+    // --- What did user 0 get?
+    let job = server.build_job(UserId(0));
+    let output = widget.run_job(&job);
+    println!("== recommendations for u0 (likes items 0-7 of group 0):");
+    for rec in &output.recommendations {
+        println!("   item {} (liked by {} candidates)", rec.item, rec.popularity);
+    }
+    println!("== u0's neighbours:");
+    for n in &output.update.neighbors {
+        println!("   {} (similarity {:.2})", n.user, n.similarity);
+    }
+
+    // --- And what crossed the wire?
+    println!("== wire costs for that job:");
+    println!("   raw JSON: {} bytes", job.json_bytes());
+    println!("   gzipped:  {} bytes", job.gzip_bytes());
+    println!("   update:   {} bytes", output.update.encode().len());
+}

@@ -1,0 +1,70 @@
+//! # hyrec
+//!
+//! Facade crate for the **HyRec** reproduction — *"HyRec: Leveraging
+//! Browsers for Scalable Recommenders"* (Boutet, Frey, Guerraoui,
+//! Kermarrec, Patra; Middleware 2014).
+//!
+//! HyRec is a hybrid user-based collaborative-filtering recommender: a
+//! central server owns the global profile/KNN tables and *offloads* the
+//! expensive per-user computations (KNN selection, item recommendation) to
+//! the users' web browsers via sampled *personalization jobs*.
+//!
+//! This crate re-exports the whole workspace under one name:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `hyrec-core` | profiles, similarity, Algorithms 1–2, tables |
+//! | [`wire`] | `hyrec-wire` | JSON codec, DEFLATE/gzip, message schemas |
+//! | [`client`] | `hyrec-client` | the browser widget as a compute kernel |
+//! | [`server`] | `hyrec-server` | sampler, orchestrator, baselines |
+//! | [`gossip`] | `hyrec-gossip` | the fully decentralized (P2P) baseline |
+//! | [`datasets`] | `hyrec-datasets` | Table 2-calibrated trace generators |
+//! | [`sim`] | `hyrec-sim` | replay, quality, cost, device, load harnesses |
+//! | [`http`] | `hyrec-http` | HTTP/1.1 stack + the Table 1 web API |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hyrec::prelude::*;
+//!
+//! // Server side: users rate items, the server orchestrates.
+//! // (k = 4: each of the four taste groups below has 4 same-group peers.)
+//! let server = HyRecServer::builder().k(4).r(5).seed(1).build();
+//! for u in 0..20u32 {
+//!     for i in 0..6u32 {
+//!         server.record(UserId(u), ItemId((u % 4) * 100 + i), Vote::Like);
+//!     }
+//! }
+//!
+//! // Browser side: the widget runs the personalization job.
+//! let widget = Widget::new();
+//! for _ in 0..3 {
+//!     for u in 0..20u32 {
+//!         let job = server.build_job(UserId(u));
+//!         let out = widget.run_job(&job);
+//!         server.apply_update(&out.update);
+//!     }
+//! }
+//! assert!(server.average_view_similarity() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hyrec_client as client;
+pub use hyrec_core as core;
+pub use hyrec_datasets as datasets;
+pub use hyrec_gossip as gossip;
+pub use hyrec_http as http;
+pub use hyrec_server as server;
+pub use hyrec_sim as sim;
+pub use hyrec_wire as wire;
+
+/// The items most applications need.
+pub mod prelude {
+    pub use hyrec_client::{Widget, WidgetOutput};
+    pub use hyrec_core::prelude::*;
+    pub use hyrec_datasets::{DatasetSpec, TraceGenerator};
+    pub use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder};
+    pub use hyrec_wire::{KnnUpdate, PersonalizationJob};
+}

@@ -1,0 +1,119 @@
+//! Cross-architecture agreement: the hybrid loop, the offline back-ends and
+//! the P2P network must all discover the same similarity structure, and the
+//! quality ordering of Figure 6 must hold end to end.
+
+use hyrec::gossip::{GossipConfig, GossipNetwork};
+use hyrec::prelude::*;
+use hyrec::sim::quality;
+use hyrec_datasets::{DatasetSpec, TraceGenerator};
+use hyrec_server::offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
+
+fn clustered_profiles() -> Vec<(UserId, Profile)> {
+    (0..60u32)
+        .map(|u| {
+            let c = u % 4;
+            let profile = Profile::from_liked(
+                (0..8u32).map(|i| c * 100 + (u / 4 + i) % 12).collect::<Vec<_>>(),
+            );
+            (UserId(u), profile)
+        })
+        .collect()
+}
+
+fn quality_of(table: &[(UserId, hyrec_core::Neighborhood)]) -> f64 {
+    table.iter().map(|(_, h)| h.view_similarity()).sum::<f64>() / table.len() as f64
+}
+
+#[test]
+fn all_knn_architectures_agree_on_structure() {
+    let profiles = clustered_profiles();
+    let k = 5;
+
+    // Exact back-ends agree exactly; the sampling one comes close.
+    let exhaustive = ExhaustiveBackend::new(2).compute(&profiles, k);
+    let mahout = MahoutLikeBackend { max_prefs_per_item: usize::MAX, ..Default::default() }
+        .compute(&profiles, k);
+    let crec = CRecBackend::new(2).compute(&profiles, k);
+    let (qe, qm, qc) = (quality_of(&exhaustive), quality_of(&mahout), quality_of(&crec));
+    assert!((qe - qm).abs() < 1e-9, "exact backends diverge: {qe} vs {qm}");
+    assert!(qc > qe * 0.9, "sampling backend too far off: {qc} vs {qe}");
+
+    // The hybrid loop reaches the same neighbourhood quality.
+    let server = HyRecServer::builder().k(k).anonymize_users(false).seed(8).build();
+    for (user, profile) in &profiles {
+        for item in profile.liked() {
+            server.record(*user, item, Vote::Like);
+        }
+    }
+    let widget = Widget::new();
+    for _ in 0..6 {
+        for (user, _) in &profiles {
+            let job = server.build_job(*user);
+            let out = widget.run_job(&job);
+            server.apply_update(&out.update);
+        }
+    }
+    let qh = server.average_view_similarity();
+    assert!(qh > qe * 0.9, "hybrid loop too far off: {qh} vs {qe}");
+
+    // And so does the fully decentralized network.
+    let mut network = GossipNetwork::new(
+        profiles.clone(),
+        GossipConfig { k, ..GossipConfig::default() },
+    );
+    network.run(25);
+    let qp = network.average_view_similarity();
+    assert!(qp > qe * 0.85, "p2p too far off: {qp} vs {qe}");
+}
+
+#[test]
+fn figure6_quality_ordering_holds() {
+    let trace = TraceGenerator::new(DatasetSpec::ML1.scaled(0.08), 17)
+        .generate()
+        .binarize();
+    let (train, test) = trace.split_chronological(0.8);
+    let k = 5;
+    let n = 10;
+
+    let online = quality::quality_online_ideal(&train, &test, k, n);
+    let hyrec = quality::quality_hyrec(&train, &test, k, n, 3);
+    let never = quality::quality_offline(&train, &test, k, n, train.horizon().0 * 100);
+
+    // Online ideal bounds HyRec; HyRec beats a cold offline table.
+    assert!(online.hits[n - 1] >= hyrec.hits[n - 1]);
+    assert!(hyrec.hits[n - 1] > never.hits[n - 1]);
+    assert!(hyrec.positives > 0);
+}
+
+#[test]
+fn p2p_and_hybrid_agree_on_bandwidth_asymmetry() {
+    // The defining Section 5.6 result: P2P pays traffic every cycle,
+    // HyRec only on requests.
+    let profiles = clustered_profiles();
+    let mut network = GossipNetwork::new(
+        profiles.clone(),
+        GossipConfig { k: 5, ..GossipConfig::default() },
+    );
+    network.run(50); // ~50 minutes of P2P operation
+    let p2p_per_node = network.bandwidth_report().mean_bytes_per_node;
+
+    let server = HyRecServer::builder().k(5).seed(6).build();
+    for (user, profile) in &profiles {
+        for item in profile.liked() {
+            server.record(*user, item, Vote::Like);
+        }
+    }
+    let widget = Widget::new();
+    let mut hyrec_bytes = 0u64;
+    for (user, _) in &profiles {
+        let job = server.build_job(*user);
+        let out = widget.run_job(&job);
+        hyrec_bytes += job.gzip_bytes() as u64 + out.update.encode().len() as u64;
+        server.apply_update(&out.update);
+    }
+    let hyrec_per_user = hyrec_bytes as f64 / profiles.len() as f64;
+    assert!(
+        p2p_per_node > hyrec_per_user * 5.0,
+        "p2p {p2p_per_node:.0}B/node should dwarf hyrec {hyrec_per_user:.0}B/user"
+    );
+}

@@ -1,0 +1,145 @@
+//! Churn behaviour across architectures — the deployment argument of
+//! Sections 2.3/2.4: P2P overlays suffer when nodes leave; HyRec's server
+//! keeps everyone's state and even uses departed users as neighbours.
+
+use hyrec::gossip::{GossipConfig, GossipNetwork};
+use hyrec::prelude::*;
+
+fn community_profiles(n: u32) -> Vec<(UserId, Profile)> {
+    // Identical profiles within each community: the converged view
+    // similarity is exactly 1.0, making thresholds unambiguous.
+    (0..n)
+        .map(|u| {
+            let c = u % 3;
+            (
+                UserId(u),
+                Profile::from_liked((0..8u32).map(|i| c * 100 + i).collect::<Vec<_>>()),
+            )
+        })
+        .collect()
+}
+
+/// Mass churn mid-run: the P2P network's views decay toward dead peers and
+/// self-heal only through continued gossip; HyRec's server state is
+/// untouched because nothing about a departed user changes server-side.
+#[test]
+fn hybrid_is_churn_immune_where_p2p_must_self_heal() {
+    let profiles = community_profiles(60);
+
+    // --- P2P: converge, then 40% of nodes vanish.
+    let mut network = GossipNetwork::new(
+        profiles.clone(),
+        GossipConfig { k: 5, ..GossipConfig::default() },
+    );
+    network.run(20);
+    let before = network.average_view_similarity();
+    for u in (0..60u32).filter(|u| u % 5 < 2) {
+        network.set_online(UserId(u), false);
+    }
+    // Offline nodes' cluster views freeze; survivors must route around the
+    // dead peers in their RPS views. Run a few healing cycles.
+    network.run(10);
+    let after = network.average_view_similarity();
+    // The network survives (no collapse), though some entries point at the
+    // departed (their profiles remain valid taste evidence).
+    assert!(after > before * 0.5, "P2P collapsed: {before:.3} -> {after:.3}");
+
+    // --- HyRec: the same "churn" has no effect on anything the server
+    // serves. Departed users' profiles still power candidate sets.
+    let server = HyRecServer::builder().k(5).anonymize_users(false).seed(77).build();
+    for (user, profile) in &profiles {
+        for item in profile.liked() {
+            server.record(*user, item, Vote::Like);
+        }
+    }
+    let widget = Widget::new();
+    // Only 60% of users are ever online; the rest never issue a request.
+    let online: Vec<UserId> = (0..60u32).filter(|u| u % 5 >= 2).map(UserId).collect();
+    for _ in 0..5 {
+        for &user in &online {
+            let job = server.build_job(user);
+            let out = widget.run_job(&job);
+            server.apply_update(&out.update);
+        }
+    }
+    // Online users converge fully, with offline users as valid neighbours.
+    let mut used_offline_neighbor = false;
+    for &user in &online {
+        let hood = server.knn_of(user).expect("knn");
+        assert!(
+            hood.view_similarity() > 0.8,
+            "{user} failed to converge: {:.3}",
+            hood.view_similarity()
+        );
+        if hood.users().any(|v| v.0 % 5 < 2) {
+            used_offline_neighbor = true;
+        }
+    }
+    assert!(
+        used_offline_neighbor,
+        "HyRec should leverage offline users' profiles (Section 2.4)"
+    );
+}
+
+/// Network partition in the P2P overlay: two islands keep converging
+/// internally — and cannot see each other's novelties, unlike HyRec where
+/// the server bridges everyone.
+#[test]
+fn p2p_partition_isolates_novelty_hyrec_does_not() {
+    // Two 20-user groups with *identical* tastes across the partition line.
+    let profiles: Vec<(UserId, Profile)> = (0..40u32)
+        .map(|u| (UserId(u), Profile::from_liked((0..8u32).map(|i| (u % 2) * 50 + i).collect::<Vec<_>>())))
+        .collect();
+
+    let mut network = GossipNetwork::new(
+        profiles.clone(),
+        GossipConfig { k: 4, ..GossipConfig::default() },
+    );
+    network.run(15);
+    // Partition: users 20..40 go dark.
+    for u in 20..40u32 {
+        network.set_online(UserId(u), false);
+    }
+    // A novel item appears on the dark side.
+    network.record(UserId(21), ItemId(999), Vote::Like);
+    network.run(10);
+    // No online node can ever recommend it: the snapshot holding it is
+    // frozen behind the partition.
+    let leaked = (0..20u32).any(|u| {
+        network
+            .recommend(UserId(u), 20)
+            .iter()
+            .any(|r| r.item == ItemId(999))
+    });
+    assert!(!leaked, "partitioned novelty must not propagate in P2P");
+
+    // HyRec: the same novelty reaches the other side through the server.
+    let server = HyRecServer::builder().k(4).anonymize_users(false).seed(13).build();
+    for (user, profile) in &profiles {
+        for item in profile.liked() {
+            server.record(*user, item, Vote::Like);
+        }
+    }
+    let widget = Widget::new();
+    for _ in 0..3 {
+        for u in 0..40u32 {
+            let job = server.build_job(UserId(u));
+            server.apply_update(&widget.run_job(&job).update);
+        }
+    }
+    // Several same-taste users (all "offline" in P2P terms) rate the novel
+    // item; only the server needs to know. Multiple raters guarantee the
+    // sampler surfaces at least one of them in any candidate set drawn
+    // from u1's (same-taste) neighbourhood.
+    for u in (21..40u32).step_by(2) {
+        server.record(UserId(u), ItemId(999), Vote::Like);
+    }
+    // An online same-taste user requests recommendations.
+    let job = server.build_job(UserId(1));
+    let out = widget.run_job(&job);
+    assert!(
+        out.recommendations.iter().any(|r| r.item == ItemId(999)),
+        "HyRec should surface the novelty through the server: {:?}",
+        out.recommendations
+    );
+}
