@@ -5,18 +5,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyrec_core::{recommend, Cosine, UserId};
 use hyrec_server::OnlineIdeal;
-use hyrec_sim::load::build_population;
+use hyrec_sim::load::{build_converged_population, build_population, warm_cache};
 
 fn bench_frontends(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
     group.sample_size(20);
     for ps in [100usize, 300] {
         let population = build_population(1_000, ps, 10, 42);
-        // Warm the fragment cache.
-        for &user in population.users.iter().take(64) {
-            let job = population.server.build_job(user);
-            let _ = population.encoder.encode(&job);
-        }
+        // Warm the fragment cache (batched job build).
+        warm_cache(&population, 64);
 
         group.bench_with_input(BenchmarkId::new("hyrec-job-build", ps), &ps, |bench, _| {
             let mut i = 0usize;
@@ -39,23 +36,19 @@ fn bench_frontends(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("crec-recommend", ps),
-            &ps,
-            |bench, _| {
-                let mut i = 0usize;
-                bench.iter(|| {
-                    let user = population.users[i % population.users.len()];
-                    i += 1;
-                    let job = population.server.build_job(user);
-                    std::hint::black_box(recommend::most_popular(
-                        &job.profile,
-                        job.candidates.profiles(),
-                        job.r,
-                    ))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("crec-recommend", ps), &ps, |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let user = population.users[i % population.users.len()];
+                i += 1;
+                let job = population.server.build_job(user);
+                std::hint::black_box(recommend::most_popular(
+                    &job.profile,
+                    job.candidates.profiles(),
+                    job.r,
+                ))
+            });
+        });
         group.bench_with_input(
             BenchmarkId::new("online-ideal-recommend", ps),
             &ps,
@@ -70,6 +63,82 @@ fn bench_frontends(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    // The acceptance bench for the batched pipeline: on a 10k-user
+    // population, building a coalesced batch of jobs through `build_jobs`
+    // must beat the same work done as N sequential `build_job` calls
+    // (shard locks, RNG lock and anonymizer taken per batch, profile and
+    // KNN reads staged through `get_many`).
+    let mut group = c.benchmark_group("batched");
+    group.sample_size(15);
+    let population = build_population(10_000, 100, 10, 11);
+    const BATCH: usize = 256;
+    let n = population.users.len();
+
+    group.bench_with_input(
+        BenchmarkId::new("sequential-build_job", BATCH),
+        &BATCH,
+        |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let jobs: Vec<_> = (0..BATCH)
+                    .map(|j| population.server.build_job(population.users[(i + j) % n]))
+                    .collect();
+                i = (i + BATCH) % n;
+                std::hint::black_box(jobs)
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("build_jobs", BATCH), &BATCH, |bench, _| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            let users: Vec<UserId> = (0..BATCH).map(|j| population.users[(i + j) % n]).collect();
+            i = (i + BATCH) % n;
+            std::hint::black_box(population.server.build_jobs(&users))
+        });
+    });
+
+    // Steady state: a converged KNN table, where a batch's candidate pool
+    // collapses onto shared communities and the batched sampler fetches
+    // each neighbourhood and profile once per batch instead of once per
+    // requester.
+    let converged = build_converged_population(10_000, 100, 10, 12);
+    let n_converged = converged.users.len();
+    group.bench_with_input(
+        BenchmarkId::new("converged-sequential-build_job", BATCH),
+        &BATCH,
+        |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let jobs: Vec<_> = (0..BATCH)
+                    .map(|j| {
+                        converged
+                            .server
+                            .build_job(converged.users[(i + j) % n_converged])
+                    })
+                    .collect();
+                i = (i + BATCH) % n_converged;
+                std::hint::black_box(jobs)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("converged-build_jobs", BATCH),
+        &BATCH,
+        |bench, _| {
+            let mut i = 0usize;
+            bench.iter(|| {
+                let users: Vec<UserId> = (0..BATCH)
+                    .map(|j| converged.users[(i + j) % n_converged])
+                    .collect();
+                i = (i + BATCH) % n_converged;
+                std::hint::black_box(converged.server.build_jobs(&users))
+            });
+        },
+    );
     group.finish();
 }
 
@@ -90,5 +159,5 @@ fn bench_sampler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frontends, bench_sampler);
+criterion_group!(benches, bench_frontends, bench_batched, bench_sampler);
 criterion_main!(benches);

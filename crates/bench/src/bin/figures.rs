@@ -56,8 +56,19 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "table2", "fig3", "fig4", "fig5", "fig6", "fig7+table3", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "bandwidth",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7+table3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "bandwidth",
         ]
         .iter()
         .map(|s| (*s).to_owned())

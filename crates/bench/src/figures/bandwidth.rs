@@ -24,16 +24,27 @@ pub fn run(options: &RunOptions) {
     );
     let scale = options.effective_scale(0.01);
     let spec = DatasetSpec::DIGG.scaled(scale);
-    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let trace = TraceGenerator::new(spec, options.seed)
+        .generate()
+        .binarize();
     let profiles = trace.final_profiles();
-    println!("({} users; extrapolating to the 2-week / 1-cycle-per-minute schedule)", profiles.len());
+    println!(
+        "({} users; extrapolating to the 2-week / 1-cycle-per-minute schedule)",
+        profiles.len()
+    );
 
     // --- P2P side: sample cycles, extrapolate.
     let full_cycles = (spec.period_days * 24.0 * 60.0) as u64; // one per minute
     let sampled_cycles = if options.full { 2_000 } else { 300 };
+    // Gossip nodes own (and mutate) their profiles — the P2P baseline has
+    // no shared table to borrow from, so materialize owned copies here.
+    let owned_profiles: Vec<_> = profiles.iter().map(|(u, p)| (*u, (**p).clone())).collect();
     let mut network = GossipNetwork::new(
-        profiles.clone(),
-        GossipConfig { k: 10, ..GossipConfig::default() },
+        owned_profiles,
+        GossipConfig {
+            k: 10,
+            ..GossipConfig::default()
+        },
     );
     network.run(sampled_cycles);
     let report = network.bandwidth_report();
@@ -41,9 +52,7 @@ pub fn run(options: &RunOptions) {
     let per_node_full = per_node_sampled * full_cycles as f64 / sampled_cycles as f64;
 
     // --- HyRec side: exact wire bytes for the average user's activity.
-    let server = HyRecServer::with_config(
-        HyRecConfig::builder().k(10).seed(options.seed).build(),
-    );
+    let server = HyRecServer::with_config(HyRecConfig::builder().k(10).seed(options.seed).build());
     let widget = Widget::new();
     let mut total_bytes = 0u64;
     let mut requests = 0u64;

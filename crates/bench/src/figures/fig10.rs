@@ -14,7 +14,13 @@ pub fn run(options: &RunOptions) {
     );
     let users = 500;
     println!("({users} users, k=10, worst-case candidate sets)");
-    header(&["profile-size", "json(kB)", "gzip(kB)", "compression", "candidates"]);
+    header(&[
+        "profile-size",
+        "json(kB)",
+        "gzip(kB)",
+        "compression",
+        "candidates",
+    ]);
     for ps in [10usize, 50, 100, 200, 300, 400, 500] {
         let population = build_population(users, ps, 10, options.seed);
         // Average over a few users for stability.

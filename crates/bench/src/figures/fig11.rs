@@ -27,8 +27,12 @@ const IDLE_LOOPS_MILLIONS: f64 = 190.0;
 fn monitor_progress(load: f64, other_demand: f64) -> f64 {
     // Stress drives `load` of the *whole* machine: load × CORES of demand.
     let total = load * CORES + 1.0 + other_demand;
-    let share = if total <= CORES { 1.0 } else { CORES / total };
-    share
+
+    if total <= CORES {
+        1.0
+    } else {
+        CORES / total
+    }
 }
 
 /// Runs the Figure 11 regeneration.
@@ -37,7 +41,13 @@ pub fn run(_options: &RunOptions) {
         "Figure 11",
         "Monitor progress under CPU load with co-running apps (paper: widget ≈ display op; small impact)",
     );
-    header(&["cpu-load(%)", "baseline(M)", "hyrec-op(M)", "display-op(M)", "decentralized(M)"]);
+    header(&[
+        "cpu-load(%)",
+        "baseline(M)",
+        "hyrec-op(M)",
+        "display-op(M)",
+        "decentralized(M)",
+    ]);
     for load_pct in (0..=100).step_by(10) {
         let load = f64::from(load_pct) / 100.0;
         let loops = |other: f64| IDLE_LOOPS_MILLIONS * monitor_progress(load, other);
@@ -55,5 +65,7 @@ pub fn run(_options: &RunOptions) {
         "# model check: single-core share at 100% load = {:.2} (halved, as Figure 12 uses)",
         single_core.foreground_share()
     );
-    println!("# paper shape: HyRec's impact ≈ a display operation; decentralized lower but constant");
+    println!(
+        "# paper shape: HyRec's impact ≈ a display operation; decentralized lower but constant"
+    );
 }

@@ -6,7 +6,9 @@
 
 use crate::{banner, header, RunOptions};
 use hyrec_core::candidate_set_bound;
-use hyrec_sim::device::{contended_time, measure_widget_kernel, synthetic_job, Device, FairShareCpu};
+use hyrec_sim::device::{
+    contended_time, measure_widget_kernel, synthetic_job, Device, FairShareCpu,
+};
 
 /// Runs the Figure 13 regeneration.
 pub fn run(options: &RunOptions) {

@@ -16,7 +16,9 @@ pub fn run(options: &RunOptions) {
     let scale = options.effective_scale(1.0);
     let spec = DatasetSpec::ML1.scaled(scale);
     println!("({spec})");
-    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let trace = TraceGenerator::new(spec, options.seed)
+        .generate()
+        .binarize();
     let probe = 5 * 86_400; // every 5 simulated days
     let week = 7 * 86_400;
 
@@ -26,23 +28,47 @@ pub fn run(options: &RunOptions) {
         seed: options.seed,
         ..ReplayConfig::default()
     };
-    let k10 = replay::replay_hyrec(&trace, &ReplayConfig { k: 10, ..base.clone() });
+    let k10 = replay::replay_hyrec(
+        &trace,
+        &ReplayConfig {
+            k: 10,
+            ..base.clone()
+        },
+    );
     let k10_ir7 = replay::replay_hyrec(
         &trace,
-        &ReplayConfig { k: 10, inter_request_bound: Some(week), compute_ideal: false, ..base.clone() },
+        &ReplayConfig {
+            k: 10,
+            inter_request_bound: Some(week),
+            compute_ideal: false,
+            ..base.clone()
+        },
     );
     let k20 = replay::replay_hyrec(
         &trace,
-        &ReplayConfig { k: 20, compute_ideal: false, ..base.clone() },
+        &ReplayConfig {
+            k: 20,
+            compute_ideal: false,
+            ..base.clone()
+        },
     );
     let offline = replay::replay_offline_ideal(&trace, 10, week, probe);
 
-    header(&["day", "hyrec-k10", "hyrec-k10-ir7", "hyrec-k20", "offline-ideal-k10", "ideal-k10"]);
+    header(&[
+        "day",
+        "hyrec-k10",
+        "hyrec-k10-ir7",
+        "hyrec-k20",
+        "offline-ideal-k10",
+        "ideal-k10",
+    ]);
     let rows = k10.probes.len();
     for i in 0..rows {
         let day = k10.probes[i].time.days();
         let col = |probes: &[replay::ProbePoint]| {
-            probes.get(i).map_or(String::from("-"), |p| format!("{:.4}", p.view_similarity))
+            probes
+                .get(i)
+                .map_or(String::from("-"), |p| format!("{:.4}", p.view_similarity))
         };
         let ideal = k10.probes[i]
             .ideal_view_similarity
@@ -62,8 +88,7 @@ pub fn run(options: &RunOptions) {
     let pct = |v: f64, bound: f64| 100.0 * (1.0 - v / bound);
     // k=20's absolute mean is over 20 neighbours, so compare it against the
     // ideal top-20 bound, not top-10 (mean similarity decays with rank).
-    let profiles: std::collections::HashMap<_, _> =
-        trace.final_profiles().into_iter().collect();
+    let profiles: std::collections::HashMap<_, _> = trace.final_profiles().into_iter().collect();
     let ideal20 = hyrec_sim::metrics::ideal_view_similarity(&profiles, 20).max(1e-9);
     println!(
         "# final gap to own-k ideal: k10 {:.0}% | k10+IR7 {:.0}% | k20 {:.0}% (paper: ~20% / ~10% / k20 converges faster)",

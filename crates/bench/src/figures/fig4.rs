@@ -18,7 +18,9 @@ pub fn run(options: &RunOptions) {
     let scale = options.effective_scale(1.0);
     let spec = DatasetSpec::ML1.scaled(scale);
     println!("({spec})");
-    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let trace = TraceGenerator::new(spec, options.seed)
+        .generate()
+        .binarize();
     let result = replay::replay_hyrec(
         &trace,
         &ReplayConfig {
@@ -32,8 +34,21 @@ pub fn run(options: &RunOptions) {
 
     let points = result.figure4_points();
     // Bucket by iteration count for a readable curve.
-    header(&["iterations-bucket", "users", "mean-%-of-ideal", "min-%", "max-%"]);
-    let buckets = [(1u64, 25u64), (25, 50), (50, 100), (100, 200), (200, 400), (400, 800)];
+    header(&[
+        "iterations-bucket",
+        "users",
+        "mean-%-of-ideal",
+        "min-%",
+        "max-%",
+    ]);
+    let buckets = [
+        (1u64, 25u64),
+        (25, 50),
+        (50, 100),
+        (100, 200),
+        (200, 400),
+        (400, 800),
+    ];
     for (lo, hi) in buckets {
         let in_bucket: Vec<f64> = points
             .iter()
@@ -46,7 +61,10 @@ pub fn run(options: &RunOptions) {
         let mean = in_bucket.iter().sum::<f64>() / in_bucket.len() as f64;
         let min = in_bucket.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = in_bucket.iter().cloned().fold(0.0, f64::max);
-        println!("{lo}-{hi}\t{}\t{mean:.0}\t{min:.0}\t{max:.0}", in_bucket.len());
+        println!(
+            "{lo}-{hi}\t{}\t{mean:.0}\t{min:.0}\t{max:.0}",
+            in_bucket.len()
+        );
     }
     let above70 = points.iter().filter(|(_, r)| *r >= 0.7).count();
     println!(

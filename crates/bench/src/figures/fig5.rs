@@ -17,7 +17,9 @@ pub fn run(options: &RunOptions) {
     let scale = options.effective_scale(0.5);
     let spec = DatasetSpec::ML1.scaled(scale);
     println!("({spec})");
-    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let trace = TraceGenerator::new(spec, options.seed)
+        .generate()
+        .binarize();
 
     let ks = [5usize, 10, 20];
     let mut series = Vec::new();
@@ -41,9 +43,9 @@ pub fn run(options: &RunOptions) {
         let cols: Vec<String> = series
             .iter()
             .map(|probes| {
-                probes
-                    .get(i)
-                    .map_or(String::from("-"), |p| format!("{:.1}", p.avg_candidate_size))
+                probes.get(i).map_or(String::from("-"), |p| {
+                    format!("{:.1}", p.avg_candidate_size)
+                })
             })
             .collect();
         println!("{minute:.0}\t{}", cols.join("\t"));

@@ -16,7 +16,9 @@ pub fn run(options: &RunOptions) {
     let scale = options.effective_scale(0.5);
     let spec = DatasetSpec::ML1.scaled(scale);
     println!("({spec})");
-    let trace = TraceGenerator::new(spec, options.seed).generate().binarize();
+    let trace = TraceGenerator::new(spec, options.seed)
+        .generate()
+        .binarize();
     let (train, test) = trace.split_chronological(0.8);
     let k = 10;
     let max_n = 10;
@@ -27,7 +29,14 @@ pub fn run(options: &RunOptions) {
     let online = quality::quality_online_ideal(&train, &test, k, max_n);
     let popularity = quality::quality_global_popularity(&train, &test, max_n);
 
-    header(&["n", "hyrec", "offline-p24h", "offline-p1h", "online-ideal", "global-pop"]);
+    header(&[
+        "n",
+        "hyrec",
+        "offline-p24h",
+        "offline-p1h",
+        "online-ideal",
+        "global-pop",
+    ]);
     for n in 1..=max_n {
         println!(
             "{n}\t{}\t{}\t{}\t{}\t{}",

@@ -35,11 +35,21 @@ pub fn run(options: &RunOptions) -> Fig7Results {
     );
     let k = 10;
     let mut crec_runtimes = Vec::new();
-    header(&["dataset", "users", "exhaustive", "mahout-single", "clus-mahout", "crec", "crec-rounds"]);
+    header(&[
+        "dataset",
+        "users",
+        "exhaustive",
+        "mahout-single",
+        "clus-mahout",
+        "crec",
+        "crec-rounds",
+    ]);
     for (spec, default_scale) in default_scales() {
         let scale = options.effective_scale(default_scale);
         let scaled = spec.scaled(scale);
-        let trace = TraceGenerator::new(scaled, options.seed).generate().binarize();
+        let trace = TraceGenerator::new(scaled, options.seed)
+            .generate()
+            .binarize();
         let profiles = trace.final_profiles();
 
         let time = |backend: &dyn OfflineBackend| {

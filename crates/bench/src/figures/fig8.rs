@@ -5,8 +5,7 @@
 
 use crate::{banner, header, RunOptions};
 use hyrec_sim::load::{
-    build_population, measure_crec_response, measure_hyrec_response,
-    measure_online_ideal_response,
+    build_population, measure_crec_response, measure_hyrec_response, measure_online_ideal_response,
 };
 
 /// Runs the Figure 8 regeneration.
@@ -36,10 +35,12 @@ pub fn run(options: &RunOptions) {
         let crec10 = ms(measure_crec_response(&pop10, requests, options.seed));
         let crec20 = ms(measure_crec_response(&pop20, requests, options.seed));
         // The full-scan baseline is slow; sample fewer requests.
-        let ideal10 = ms(measure_online_ideal_response(&pop10, requests / 4, options.seed));
-        println!(
-            "{ps}\t{hyrec10:.3}\t{hyrec20:.3}\t{crec10:.3}\t{crec20:.3}\t{ideal10:.3}"
-        );
+        let ideal10 = ms(measure_online_ideal_response(
+            &pop10,
+            requests / 4,
+            options.seed,
+        ));
+        println!("{ps}\t{hyrec10:.3}\t{hyrec20:.3}\t{crec10:.3}\t{crec20:.3}\t{ideal10:.3}");
         gaps.push(1.0 - hyrec10 / crec10.max(1e-9));
     }
     let avg_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;

@@ -15,12 +15,21 @@ pub fn run(options: &RunOptions) {
     );
     let users = 500;
     let workers = 8;
-    let clients_axis: &[usize] =
-        if options.full { &[1, 2, 5, 10, 20, 50, 100, 200, 400] } else { &[1, 2, 5, 10, 20, 50] };
+    let clients_axis: &[usize] = if options.full {
+        &[1, 2, 5, 10, 20, 50, 100, 200, 400]
+    } else {
+        &[1, 2, 5, 10, 20, 50]
+    };
     let requests_per_client = if options.full { 20 } else { 10 };
     println!("({users} users, {workers} HTTP workers, {requests_per_client} req/client)");
 
-    header(&["clients", "hyrec-ps10(ms)", "hyrec-ps100(ms)", "crec-ps10(ms)", "crec-ps100(ms)"]);
+    header(&[
+        "clients",
+        "hyrec-ps10(ms)",
+        "hyrec-ps100(ms)",
+        "crec-ps10(ms)",
+        "crec-ps100(ms)",
+    ]);
     let mut rows: Vec<[f64; 4]> = Vec::new();
     for &clients in clients_axis {
         let mut row = [0.0f64; 4];

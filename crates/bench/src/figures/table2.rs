@@ -9,13 +9,18 @@ use hyrec_datasets::{DatasetSpec, TraceGenerator, TraceStats};
 
 /// Runs the Table 2 regeneration.
 pub fn run(options: &RunOptions) {
-    banner("Table 2", "Dataset statistics (paper: 943/1.7k/100k/106 … 59k/7.7k/783k/13)");
+    banner(
+        "Table 2",
+        "Dataset statistics (paper: 943/1.7k/100k/106 … 59k/7.7k/783k/13)",
+    );
     let scale = options.effective_scale(0.1);
     println!("(scale factor {scale})");
     header(&["dataset", "users", "items", "ratings", "avg-ratings"]);
     for spec in DatasetSpec::paper_presets() {
         let scaled = spec.scaled(scale);
-        let trace = TraceGenerator::new(scaled, options.seed).generate().binarize();
+        let trace = TraceGenerator::new(scaled, options.seed)
+            .generate()
+            .binarize();
         let stats = TraceStats::compute(&trace);
         println!(
             "{}\t{}\t{}\t{}\t{:.0}",

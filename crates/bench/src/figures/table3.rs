@@ -20,8 +20,12 @@ pub fn run(options: &RunOptions) {
 /// The paper's own CRec back-end runtimes (2014 Java/map-reduce stack),
 /// read off Figure 7's log axis and cross-checked against the Table 3
 /// percentages: `(dataset, seconds per KNN pass)`.
-const PAPER_RUNTIMES: [(&str, u64); 4] =
-    [("ML1", 2_100), ("ML2", 10_100), ("ML3", 40_000), ("Digg", 145)];
+const PAPER_RUNTIMES: [(&str, u64); 4] = [
+    ("ML1", 2_100),
+    ("ML2", 10_100),
+    ("ML3", 40_000),
+    ("Digg", 145),
+];
 
 /// Runs Table 3 from existing Figure 7 results.
 pub fn run_with(fig7: &Fig7Results) {
@@ -39,7 +43,14 @@ pub fn run_with(fig7: &Fig7Results) {
     };
 
     println!("-- (a) with the paper's 2014 back-end runtimes (validates the cost model):");
-    header(&["dataset", "period", "knn-runtime", "backend-$/yr", "reserved?", "savings"]);
+    header(&[
+        "dataset",
+        "period",
+        "knn-runtime",
+        "backend-$/yr",
+        "reserved?",
+        "savings",
+    ]);
     for (name, secs) in PAPER_RUNTIMES {
         let runtime = Duration::from_secs(secs);
         for &(hours, label) in periods_for(name) {
@@ -53,10 +64,19 @@ pub fn run_with(fig7: &Fig7Results) {
             );
         }
     }
-    println!("# paper: ML1 8.6/15.8/27.4% | ML2 31/47.6/49.2% | ML3 49.2% flat | Digg 2.5/5.0/9.5%");
+    println!(
+        "# paper: ML1 8.6/15.8/27.4% | ML2 31/47.6/49.2% | ML3 49.2% flat | Digg 2.5/5.0/9.5%"
+    );
 
     println!("-- (b) with OUR measured Rust runtimes (linear extrapolation to full scale):");
-    header(&["dataset", "period", "knn-runtime(extrap)", "backend-$/yr", "reserved?", "savings"]);
+    header(&[
+        "dataset",
+        "period",
+        "knn-runtime(extrap)",
+        "backend-$/yr",
+        "reserved?",
+        "savings",
+    ]);
     for &(name, measured_users, full_users, runtime) in &fig7.crec_runtimes {
         let factor = full_users as f64 / measured_users.max(1) as f64;
         let full_runtime = Duration::from_secs_f64(runtime.as_secs_f64() * factor);

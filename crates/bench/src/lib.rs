@@ -37,7 +37,11 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { scale: None, full: false, seed: 0xB005 }
+        Self {
+            scale: None,
+            full: false,
+            seed: 0xB005,
+        }
     }
 }
 
@@ -84,11 +88,21 @@ mod tests {
     fn effective_scale_resolution() {
         let default = RunOptions::default();
         assert_eq!(default.effective_scale(0.3), 0.3);
-        let explicit = RunOptions { scale: Some(0.7), ..Default::default() };
+        let explicit = RunOptions {
+            scale: Some(0.7),
+            ..Default::default()
+        };
         assert_eq!(explicit.effective_scale(0.3), 0.7);
-        let full = RunOptions { full: true, scale: Some(0.1), ..Default::default() };
+        let full = RunOptions {
+            full: true,
+            scale: Some(0.1),
+            ..Default::default()
+        };
         assert_eq!(full.effective_scale(0.3), 1.0);
-        let wild = RunOptions { scale: Some(9.0), ..Default::default() };
+        let wild = RunOptions {
+            scale: Some(9.0),
+            ..Default::default()
+        };
         assert_eq!(wild.effective_scale(0.3), 1.0);
     }
 

@@ -33,7 +33,7 @@
 //!     uid: UserId(1),
 //!     k: 2,
 //!     r: 3,
-//!     profile: Profile::from_liked([1, 2]),
+//!     profile: Profile::from_liked([1, 2]).into(),
 //!     candidates,
 //! };
 //!

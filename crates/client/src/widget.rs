@@ -56,7 +56,10 @@ impl Widget {
     /// most-popular recommendation.
     #[must_use]
     pub fn new() -> Self {
-        Self { similarity: Arc::new(Cosine), policy: Arc::new(MostPopular) }
+        Self {
+            similarity: Arc::new(Cosine),
+            policy: Arc::new(MostPopular),
+        }
     }
 
     /// Starts building a customized widget.
@@ -166,7 +169,7 @@ mod tests {
             uid: UserId(1),
             k: 2,
             r: 2,
-            profile: Profile::from_liked([1u32, 2]),
+            profile: Profile::from_liked([1u32, 2]).into(),
             candidates,
         }
     }

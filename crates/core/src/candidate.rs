@@ -6,18 +6,23 @@
 //! of that aggregation, carrying each candidate's (pseudonymous) id and full
 //! profile so the widget needs *no* local state.
 
+use crate::fast_hash::FastHashSet;
 use crate::id::UserId;
 use crate::profile::Profile;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 
 /// A candidate user as shipped to the widget: pseudonymous id plus profile.
+///
+/// The profile is held behind [`Arc`]: candidate sets are assembled from
+/// the server's [`crate::ProfileTable`], and sharing the stored allocation
+/// keeps job assembly free of deep profile copies (the zero-copy hot path).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CandidateProfile {
     /// Pseudonymous id of the candidate (anonymous mapping, Section 3.1).
     pub user: UserId,
-    /// The candidate's full binary profile.
-    pub profile: Profile,
+    /// Shared handle to the candidate's full binary profile.
+    pub profile: Arc<Profile>,
 }
 
 /// A deduplicated candidate set `S_u`.
@@ -35,11 +40,21 @@ pub struct CandidateProfile {
 /// assert!(!s.insert(UserId(1), Profile::from_liked([2]))); // duplicate user
 /// assert_eq!(s.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CandidateSet {
     candidates: Vec<CandidateProfile>,
+    /// Lazily materialized duplicate-tracking index. Hot-path consumers
+    /// (widget, encoder) only iterate, so sets built from pre-deduplicated
+    /// input ([`Self::from_deduped`], the batched sampler) never pay for it.
     #[serde(skip)]
-    seen: HashSet<UserId>,
+    seen: OnceLock<FastHashSet<UserId>>,
+}
+
+impl PartialEq for CandidateSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived state; equality is the candidate list.
+        self.candidates == other.candidates
+    }
 }
 
 impl CandidateSet {
@@ -54,15 +69,59 @@ impl CandidateSet {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             candidates: Vec::with_capacity(capacity),
-            seen: HashSet::with_capacity(capacity),
+            seen: OnceLock::new(),
         }
+    }
+
+    /// Builds a set from candidates already known to be distinct — the
+    /// zero-rehash path of the batched sampler, which deduplicates while
+    /// assembling the id lists.
+    ///
+    /// The uniqueness contract is the caller's (checked in debug builds);
+    /// the index materializes lazily if [`Self::insert`] or
+    /// [`Self::contains`] is called later.
+    #[must_use]
+    pub fn from_deduped(candidates: Vec<CandidateProfile>) -> Self {
+        debug_assert!(
+            {
+                let mut ids: Vec<UserId> = candidates.iter().map(|c| c.user).collect();
+                ids.sort_unstable();
+                ids.windows(2).all(|w| w[0] != w[1])
+            },
+            "from_deduped called with duplicate users"
+        );
+        Self {
+            candidates,
+            seen: OnceLock::new(),
+        }
+    }
+
+    fn seen_mut(&mut self) -> &mut FastHashSet<UserId> {
+        if self.seen.get().is_none() {
+            // Size for the Vec's capacity: a `with_capacity(n)` set then
+            // takes its n inserts without a single rehash.
+            let mut index = FastHashSet::with_capacity_and_hasher(
+                self.candidates.capacity().max(self.candidates.len()),
+                Default::default(),
+            );
+            index.extend(self.candidates.iter().map(|c| c.user));
+            let _ = self.seen.set(index);
+        }
+        self.seen.get_mut().expect("index just materialized")
     }
 
     /// Inserts a candidate; returns `false` (and drops the profile) if the
     /// user is already present.
-    pub fn insert(&mut self, user: UserId, profile: Profile) -> bool {
-        if self.seen.insert(user) {
-            self.candidates.push(CandidateProfile { user, profile });
+    ///
+    /// Accepts either an owned [`Profile`] (wrapped on the way in) or an
+    /// [`Arc<Profile>`] handle straight from the profile table — the latter
+    /// is the zero-copy path.
+    pub fn insert(&mut self, user: UserId, profile: impl Into<Arc<Profile>>) -> bool {
+        if self.seen_mut().insert(user) {
+            self.candidates.push(CandidateProfile {
+                user,
+                profile: profile.into(),
+            });
             true
         } else {
             false
@@ -72,7 +131,9 @@ impl CandidateSet {
     /// Whether `user` is already in the set.
     #[must_use]
     pub fn contains(&self, user: UserId) -> bool {
-        self.seen.contains(&user)
+        self.seen
+            .get_or_init(|| self.candidates.iter().map(|c| c.user).collect())
+            .contains(&user)
     }
 
     /// Number of distinct candidates.
@@ -94,12 +155,12 @@ impl CandidateSet {
 
     /// Iterates `(user, &profile)` pairs, the shape Algorithm 1 consumes.
     pub fn pairs(&self) -> impl Iterator<Item = (UserId, &Profile)> {
-        self.candidates.iter().map(|c| (c.user, &c.profile))
+        self.candidates.iter().map(|c| (c.user, c.profile.as_ref()))
     }
 
     /// Iterates just the candidate profiles, the shape Algorithm 2 consumes.
     pub fn profiles(&self) -> impl Iterator<Item = &Profile> {
-        self.candidates.iter().map(|c| &c.profile)
+        self.candidates.iter().map(|c| c.profile.as_ref())
     }
 
     /// Consumes the set, returning the candidates in insertion order.
@@ -108,18 +169,26 @@ impl CandidateSet {
         self.candidates
     }
 
-    /// Rebuilds the duplicate-tracking index after deserialization.
-    ///
-    /// The `seen` index is skipped on the wire (it is derivable); call this
-    /// after deserializing if you intend to keep inserting. Constructors and
-    /// [`FromIterator`] do this automatically.
+    /// Drops the duplicate-tracking index so it re-derives from the
+    /// candidate list on next use (e.g. after deserialization or manual
+    /// surgery on the candidates).
     pub fn rebuild_index(&mut self) {
-        self.seen = self.candidates.iter().map(|c| c.user).collect();
+        self.seen = OnceLock::new();
     }
 }
 
 impl FromIterator<(UserId, Profile)> for CandidateSet {
     fn from_iter<T: IntoIterator<Item = (UserId, Profile)>>(iter: T) -> Self {
+        let mut set = CandidateSet::new();
+        for (user, profile) in iter {
+            set.insert(user, profile);
+        }
+        set
+    }
+}
+
+impl FromIterator<(UserId, Arc<Profile>)> for CandidateSet {
+    fn from_iter<T: IntoIterator<Item = (UserId, Arc<Profile>)>>(iter: T) -> Self {
         let mut set = CandidateSet::new();
         for (user, profile) in iter {
             set.insert(user, profile);
@@ -177,10 +246,43 @@ mod tests {
     #[test]
     fn rebuild_index_restores_dedup() {
         let mut s: CandidateSet = [(UserId(1), Profile::new())].into_iter().collect();
-        // Simulate a post-deserialization state with an empty index.
-        s.seen.clear();
         s.rebuild_index();
         assert!(!s.insert(UserId(1), Profile::new()));
+    }
+
+    #[test]
+    fn from_deduped_behaves_like_insertion() {
+        let parts = vec![
+            CandidateProfile {
+                user: UserId(1),
+                profile: Profile::from_liked([1u32]).into(),
+            },
+            CandidateProfile {
+                user: UserId(2),
+                profile: Profile::from_liked([2u32]).into(),
+            },
+        ];
+        let mut s = CandidateSet::from_deduped(parts);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(UserId(1)));
+        // Lazy index still deduplicates later inserts.
+        assert!(!s.insert(UserId(2), Profile::new()));
+        assert!(s.insert(UserId(3), Profile::new()));
+
+        let built: CandidateSet = [
+            (UserId(1), Profile::from_liked([1u32])),
+            (UserId(2), Profile::from_liked([2u32])),
+        ]
+        .into_iter()
+        .collect();
+        assert_ne!(s, built); // s has a third member now
+        assert_eq!(s.iter().take(2).count(), 2);
+    }
+
+    #[test]
+    fn candidate_set_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CandidateSet>();
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod tests {
     fn display_messages() {
         let e = CoreError::UnknownUser(UserId(7));
         assert_eq!(e.to_string(), "unknown user u7");
-        let e = CoreError::InvalidParameter { name: "k", reason: "must be positive" };
+        let e = CoreError::InvalidParameter {
+            name: "k",
+            reason: "must be positive",
+        };
         assert!(e.to_string().contains('k'));
     }
 

@@ -1,0 +1,130 @@
+//! A fast, non-cryptographic hasher for the request hot path.
+//!
+//! Every candidate pushed into a job costs several hash-map operations
+//! (shard-map lookup, dedup-index insert, encoder-cache probe). The
+//! standard library's SipHash is DoS-resistant but ~5× slower than needed
+//! for 4-byte [`crate::UserId`] keys that already sit behind the server's
+//! anonymization layer. This is the Fx/rustc multiply-rotate hash:
+//! word-at-a-time, two arithmetic ops per word.
+//!
+//! Use for internal, trusted-key tables only (user/item ids). Anything
+//! keyed by attacker-controlled byte strings should stay on SipHash.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx hash (Firefox/rustc): a single odd constant with
+/// good bit diffusion under multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiplicative hasher (the rustc `FxHasher`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Rarely used for our integer keys; fold bytes into words.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by trusted internal ids.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` of trusted internal ids.
+pub type FastHashSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_sequential_ids() {
+        // Sequential uids must spread across low bits (hash maps mask by
+        // capacity), or every shard map degenerates into one bucket chain.
+        let mut buckets = [0u32; 64];
+        for id in 0u32..64_000 {
+            let mut h = FastHasher::default();
+            h.write_u32(id);
+            buckets[(h.finish() & 63) as usize] += 1;
+        }
+        let (min, max) = (
+            *buckets.iter().min().unwrap(),
+            *buckets.iter().max().unwrap(),
+        );
+        assert!(min > 500, "bucket starvation: min {min}");
+        assert!(max < 2000, "bucket pileup: max {max}");
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FastHashMap<u32, u32> = FastHashMap::default();
+        let mut set: FastHashSet<u32> = FastHashSet::default();
+        for i in 0..1000u32 {
+            map.insert(i, i * 2);
+            set.insert(i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&500], 1000);
+        assert!(set.contains(&999));
+        assert!(!set.contains(&1000));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FastHasher::default();
+        a.write(b"hello world");
+        let mut b = FastHasher::default();
+        b.write(b"hello world");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FastHasher::default();
+        c.write(b"hello worle");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -20,7 +20,9 @@ use std::fmt;
 /// assert_eq!(u.0, 42);
 /// assert_eq!(u.to_string(), "u42");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct UserId(pub u32);
 
 /// Identifier of an item (a movie, a news story, ...).
@@ -30,7 +32,9 @@ pub struct UserId(pub u32);
 /// let i = ItemId(7);
 /// assert_eq!(i.to_string(), "i7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ItemId(pub u32);
 
 impl fmt::Display for UserId {

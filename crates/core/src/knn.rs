@@ -243,8 +243,14 @@ mod tests {
     #[test]
     fn view_similarity_is_mean() {
         let hood = Neighborhood::from_neighbors([
-            Neighbor { user: UserId(1), similarity: 1.0 },
-            Neighbor { user: UserId(2), similarity: 0.5 },
+            Neighbor {
+                user: UserId(1),
+                similarity: 1.0,
+            },
+            Neighbor {
+                user: UserId(2),
+                similarity: 0.5,
+            },
         ]);
         assert!((hood.view_similarity() - 0.75).abs() < 1e-12);
     }
@@ -252,9 +258,18 @@ mod tests {
     #[test]
     fn from_neighbors_sorts_and_dedups() {
         let hood = Neighborhood::from_neighbors([
-            Neighbor { user: UserId(1), similarity: 0.2 },
-            Neighbor { user: UserId(2), similarity: 0.9 },
-            Neighbor { user: UserId(1), similarity: 0.8 },
+            Neighbor {
+                user: UserId(1),
+                similarity: 0.2,
+            },
+            Neighbor {
+                user: UserId(2),
+                similarity: 0.9,
+            },
+            Neighbor {
+                user: UserId(1),
+                similarity: 0.8,
+            },
         ]);
         assert_eq!(hood.len(), 2);
         assert_eq!(hood.best().unwrap().user, UserId(2));

@@ -49,6 +49,7 @@
 
 pub mod candidate;
 pub mod error;
+pub mod fast_hash;
 pub mod id;
 pub mod knn;
 pub mod profile;
@@ -59,9 +60,10 @@ pub mod topk;
 
 pub use candidate::{CandidateProfile, CandidateSet};
 pub use error::CoreError;
+pub use fast_hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use id::{ItemId, UserId};
 pub use knn::{Neighbor, Neighborhood};
-pub use profile::{Profile, Vote};
+pub use profile::{Profile, SharedProfile, Vote};
 pub use recommend::Recommendation;
 pub use similarity::{Cosine, Jaccard, Overlap, Similarity};
 pub use tables::{KnnTable, ProfileTable};
@@ -71,7 +73,7 @@ pub mod prelude {
     pub use crate::candidate::{CandidateProfile, CandidateSet};
     pub use crate::id::{ItemId, UserId};
     pub use crate::knn::{self, Neighbor, Neighborhood};
-    pub use crate::profile::{Profile, Vote};
+    pub use crate::profile::{Profile, SharedProfile, Vote};
     pub use crate::recommend::{self, Recommendation};
     pub use crate::similarity::{Cosine, Jaccard, Overlap, Similarity};
     pub use crate::tables::{KnnTable, ProfileTable};

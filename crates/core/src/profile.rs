@@ -33,6 +33,12 @@ impl fmt::Display for Vote {
     }
 }
 
+/// A shared, immutable handle to a [`Profile`] — the currency of the
+/// zero-copy job pipeline. The profile table stores these; samplers, job
+/// builders, encoders and offline back-ends pass them around by bumping the
+/// reference count instead of copying item vectors.
+pub type SharedProfile = std::sync::Arc<Profile>;
+
 /// A user's binary rating profile `P_u`.
 ///
 /// Stores the liked and disliked item sets as sorted, deduplicated vectors.

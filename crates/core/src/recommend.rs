@@ -88,9 +88,18 @@ where
 {
     let mut top = TopK::new(r);
     for (item, count) in counts {
-        top.push(Recommendation { item, popularity: count }, score(item, count));
+        top.push(
+            Recommendation {
+                item,
+                popularity: count,
+            },
+            score(item, count),
+        );
     }
-    top.into_sorted_vec().into_iter().map(|(rec, _)| rec).collect()
+    top.into_sorted_vec()
+        .into_iter()
+        .map(|(rec, _)| rec)
+        .collect()
 }
 
 #[cfg(test)]
@@ -128,7 +137,7 @@ mod tests {
     #[test]
     fn ties_break_by_ascending_item_id() {
         let me = Profile::new();
-        let pool = vec![Profile::from_liked([9u32, 4, 7])];
+        let pool = [Profile::from_liked([9u32, 4, 7])];
         let recs = most_popular(&me, pool.iter(), 3);
         assert_eq!(
             recs.iter().map(|r| r.item).collect::<Vec<_>>(),

@@ -157,7 +157,11 @@ mod tests {
     fn identical_profiles_score_one() {
         let p = Profile::from_liked([10u32, 20, 30]);
         for metric in [&Cosine as &dyn Similarity, &Jaccard, &Overlap] {
-            assert!((metric.score(&p, &p) - 1.0).abs() < 1e-12, "{}", metric.name());
+            assert!(
+                (metric.score(&p, &p) - 1.0).abs() < 1e-12,
+                "{}",
+                metric.name()
+            );
         }
     }
 

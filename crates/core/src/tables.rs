@@ -8,12 +8,13 @@
 //! candidate profiles) massively dominate writes (one profile update and one
 //! KNN write-back per request).
 
+use crate::fast_hash::FastHashMap;
 use crate::id::UserId;
 use crate::knn::Neighborhood;
 use crate::profile::{Profile, Vote};
 use crate::ItemId;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Number of lock shards. Power of two so the shard of a user is a mask away.
 const SHARDS: usize = 64;
@@ -23,7 +24,30 @@ fn shard_of(user: UserId) -> usize {
     ((user.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize & (SHARDS - 1)
 }
 
+/// Groups `keys` by shard so a batch operation takes each shard lock once.
+///
+/// Returns, per touched shard, the list of *positions* into `keys` (so the
+/// caller can write results back in input order).
+fn group_by_shard(keys: &[UserId]) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+    for (pos, &user) in keys.iter().enumerate() {
+        groups[shard_of(user)].push(pos);
+    }
+    groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, positions)| !positions.is_empty())
+        .collect()
+}
+
 /// Sharded, thread-safe map from user to profile.
+///
+/// Profiles are stored behind [`Arc`] so that readers — the sampler
+/// assembling candidate sets, the job encoder serializing them — share the
+/// stored allocation instead of deep-cloning item vectors. Writers use
+/// clone-on-write ([`Arc::make_mut`]): a vote on a profile that is
+/// concurrently referenced by an in-flight job clones once, then mutates in
+/// place until the next job pins it again.
 ///
 /// ```
 /// use hyrec_core::{ItemId, Profile, ProfileTable, UserId, Vote};
@@ -34,7 +58,7 @@ fn shard_of(user: UserId) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct ProfileTable {
-    shards: Vec<RwLock<HashMap<UserId, Profile>>>,
+    shards: Vec<RwLock<FastHashMap<UserId, Arc<Profile>>>>,
 }
 
 impl Default for ProfileTable {
@@ -48,7 +72,9 @@ impl ProfileTable {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FastHashMap::default()))
+                .collect(),
         }
     }
 
@@ -58,28 +84,48 @@ impl ProfileTable {
     /// orchestrator uses to decide whether a new KNN iteration is worthwhile.
     pub fn record(&self, user: UserId, item: ItemId, vote: Vote) -> bool {
         let mut shard = self.shards[shard_of(user)].write();
-        shard.entry(user).or_default().record(item, vote)
+        Arc::make_mut(shard.entry(user).or_default()).record(item, vote)
     }
 
     /// Replaces `user`'s whole profile, returning the previous one if any.
-    pub fn insert(&self, user: UserId, profile: Profile) -> Option<Profile> {
+    pub fn insert(&self, user: UserId, profile: impl Into<Arc<Profile>>) -> Option<Arc<Profile>> {
         let mut shard = self.shards[shard_of(user)].write();
-        shard.insert(user, profile)
+        shard.insert(user, profile.into())
     }
 
-    /// Returns a clone of `user`'s profile.
+    /// Returns a shared handle to `user`'s profile.
     ///
-    /// Clones are intentional: candidate profiles get serialized into a
-    /// personalization job anyway, and cloning under a short read lock beats
-    /// holding the shard across serialization.
+    /// This is an `Arc` bump, not a deep clone: candidate assembly, job
+    /// construction and serialization all borrow the same stored allocation
+    /// (the zero-copy hot path), and the short read lock is released before
+    /// any of that work happens.
     #[must_use]
-    pub fn get(&self, user: UserId) -> Option<Profile> {
+    pub fn get(&self, user: UserId) -> Option<Arc<Profile>> {
         self.shards[shard_of(user)].read().get(&user).cloned()
+    }
+
+    /// Batched [`Self::get`]: fetches many profiles while taking each
+    /// touched shard lock exactly once.
+    ///
+    /// Results are in input order. This is the profile-fetch path of
+    /// `HyRecServer::build_jobs`: for a batch of jobs the per-user lock
+    /// traffic (one acquisition per candidate) collapses into at most
+    /// one acquisition per shard.
+    #[must_use]
+    pub fn get_many(&self, users: &[UserId]) -> Vec<Option<Arc<Profile>>> {
+        let mut out = vec![None; users.len()];
+        for (shard_idx, positions) in group_by_shard(users) {
+            let shard = self.shards[shard_idx].read();
+            for pos in positions {
+                out[pos] = shard.get(&users[pos]).cloned();
+            }
+        }
+        out
     }
 
     /// Runs `f` on the profile without cloning (read lock held during `f`).
     pub fn with<R>(&self, user: UserId, f: impl FnOnce(&Profile) -> R) -> Option<R> {
-        self.shards[shard_of(user)].read().get(&user).map(f)
+        self.shards[shard_of(user)].read().get(&user).map(|p| f(p))
     }
 
     /// Whether the table has a profile for `user`.
@@ -112,11 +158,14 @@ impl ProfileTable {
 
     /// Snapshot of the whole table (unordered), for offline back-ends that
     /// batch over every user (Offline-Ideal, Offline-CRec, Mahout-like).
+    ///
+    /// Shares the stored profiles (`Arc` bumps, no deep copies), so a
+    /// snapshot of millions of users costs one pointer pair per user.
     #[must_use]
-    pub fn snapshot(&self) -> Vec<(UserId, Profile)> {
+    pub fn snapshot(&self) -> Vec<(UserId, Arc<Profile>)> {
         let mut all = Vec::with_capacity(self.len());
         for shard in &self.shards {
-            all.extend(shard.read().iter().map(|(u, p)| (*u, p.clone())));
+            all.extend(shard.read().iter().map(|(u, p)| (*u, Arc::clone(p))));
         }
         all
     }
@@ -132,7 +181,7 @@ impl ProfileTable {
 /// ```
 #[derive(Debug)]
 pub struct KnnTable {
-    shards: Vec<RwLock<HashMap<UserId, Neighborhood>>>,
+    shards: Vec<RwLock<FastHashMap<UserId, Neighborhood>>>,
 }
 
 impl Default for KnnTable {
@@ -146,7 +195,9 @@ impl KnnTable {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FastHashMap::default()))
+                .collect(),
         }
     }
 
@@ -156,10 +207,53 @@ impl KnnTable {
         self.shards[shard_of(user)].write().insert(user, hood);
     }
 
+    /// Batched [`Self::update`]: applies many write-backs while taking each
+    /// touched shard's write lock exactly once — the write half of
+    /// `HyRecServer::apply_updates`.
+    pub fn update_many(&self, entries: Vec<(UserId, Neighborhood)>) {
+        let keys: Vec<UserId> = entries.iter().map(|(u, _)| *u).collect();
+        let mut slots: Vec<Option<Neighborhood>> =
+            entries.into_iter().map(|(_, h)| Some(h)).collect();
+        for (shard_idx, positions) in group_by_shard(&keys) {
+            let mut shard = self.shards[shard_idx].write();
+            for pos in positions {
+                let hood = slots[pos].take().expect("each position visited once");
+                shard.insert(keys[pos], hood);
+            }
+        }
+    }
+
     /// Returns a clone of `user`'s current neighbourhood.
     #[must_use]
     pub fn get(&self, user: UserId) -> Option<Neighborhood> {
         self.shards[shard_of(user)].read().get(&user).cloned()
+    }
+
+    /// Batched [`Self::get`]: fetches many neighbourhoods while taking each
+    /// touched shard lock exactly once. Results are in input order.
+    #[must_use]
+    pub fn get_many(&self, users: &[UserId]) -> Vec<Option<Neighborhood>> {
+        self.map_many(users, Neighborhood::clone)
+    }
+
+    /// Batched [`Self::with`]: runs `f` on each present neighbourhood under
+    /// its shard's read lock (taken once per touched shard), returning
+    /// results in input order. The zero-clone read path of the batched
+    /// sampler: extracting just the neighbour ids never copies a
+    /// [`Neighborhood`].
+    pub fn map_many<R>(
+        &self,
+        users: &[UserId],
+        mut f: impl FnMut(&Neighborhood) -> R,
+    ) -> Vec<Option<R>> {
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(users.len()).collect();
+        for (shard_idx, positions) in group_by_shard(users) {
+            let shard = self.shards[shard_idx].read();
+            for pos in positions {
+                out[pos] = shard.get(&users[pos]).map(&mut f);
+            }
+        }
+        out
     }
 
     /// Runs `f` on the neighbourhood without cloning.
@@ -261,11 +355,17 @@ mod tests {
         let t = KnnTable::new();
         t.update(
             UserId(1),
-            Neighborhood::from_neighbors([Neighbor { user: UserId(2), similarity: 0.8 }]),
+            Neighborhood::from_neighbors([Neighbor {
+                user: UserId(2),
+                similarity: 0.8,
+            }]),
         );
         t.update(
             UserId(2),
-            Neighborhood::from_neighbors([Neighbor { user: UserId(1), similarity: 0.4 }]),
+            Neighborhood::from_neighbors([Neighbor {
+                user: UserId(1),
+                similarity: 0.4,
+            }]),
         );
         assert!((t.average_view_similarity() - 0.6).abs() < 1e-12);
         assert_eq!(t.len(), 2);
@@ -297,6 +397,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(table.len(), 8 * 500);
+    }
+
+    #[test]
+    fn get_returns_shared_handle_not_copy() {
+        let t = ProfileTable::new();
+        t.record(UserId(5), ItemId(1), Vote::Like);
+        let a = t.get(UserId(5)).unwrap();
+        let b = t.get(UserId(5)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "get must share the stored allocation");
+        // A write through record() must not mutate the held handle.
+        t.record(UserId(5), ItemId(2), Vote::Like);
+        assert_eq!(a.liked_len(), 1);
+        assert_eq!(t.get(UserId(5)).unwrap().liked_len(), 2);
+    }
+
+    #[test]
+    fn get_many_matches_get_in_input_order() {
+        let t = ProfileTable::new();
+        for u in 0..200u32 {
+            t.record(UserId(u), ItemId(u), Vote::Like);
+        }
+        let query: Vec<UserId> = [7u32, 500, 3, 3, 199, 0, 42]
+            .into_iter()
+            .map(UserId)
+            .collect();
+        let batch = t.get_many(&query);
+        assert_eq!(batch.len(), query.len());
+        for (user, got) in query.iter().zip(&batch) {
+            assert_eq!(got.is_some(), t.get(*user).is_some(), "mismatch for {user}");
+            if let Some(profile) = got {
+                assert!(Arc::ptr_eq(profile, &t.get(*user).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_ops_match_scalar_ops() {
+        let t = KnnTable::new();
+        let entries: Vec<(UserId, Neighborhood)> = (0..100u32)
+            .map(|u| {
+                (
+                    UserId(u),
+                    Neighborhood::from_neighbors([Neighbor {
+                        user: UserId(u + 1),
+                        similarity: f64::from(u) / 100.0,
+                    }]),
+                )
+            })
+            .collect();
+        t.update_many(entries.clone());
+        assert_eq!(t.len(), 100);
+        let users: Vec<UserId> = entries.iter().map(|(u, _)| *u).collect();
+        let fetched = t.get_many(&users);
+        for ((user, hood), got) in entries.iter().zip(fetched) {
+            assert_eq!(got.as_ref(), Some(hood), "mismatch for {user}");
+        }
+        assert_eq!(t.get_many(&[UserId(999)]), vec![None]);
     }
 
     #[test]

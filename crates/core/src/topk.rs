@@ -116,11 +116,7 @@ impl<T: PartialEq> TopK<T> {
     /// descending score.
     #[must_use]
     pub fn into_sorted_vec(self) -> Vec<(T, f64)> {
-        let mut items: Vec<(T, f64)> = self
-            .heap
-            .into_iter()
-            .map(|s| (s.value, s.score))
-            .collect();
+        let mut items: Vec<(T, f64)> = self.heap.into_iter().map(|s| (s.value, s.score)).collect();
         items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
         items
     }

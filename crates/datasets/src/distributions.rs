@@ -60,9 +60,10 @@ impl Zipf {
         let total = *self.cdf.last().expect("non-empty support");
         let needle = rng.gen::<f64>() * total;
         // First index with cdf >= needle.
-        match self.cdf.binary_search_by(|w| {
-            w.partial_cmp(&needle).expect("weights are finite")
-        }) {
+        match self
+            .cdf
+            .binary_search_by(|w| w.partial_cmp(&needle).expect("weights are finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -156,7 +157,10 @@ mod tests {
             counts[zipf.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "non-uniform: {counts:?}");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "non-uniform: {counts:?}"
+            );
         }
     }
 

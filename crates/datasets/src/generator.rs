@@ -131,8 +131,7 @@ impl TraceGenerator {
             let pool_zipf = &pool_zipfs[community];
 
             let arrival = rng.gen_range(0..=arrival_window);
-            let span =
-                (log_normal(&mut rng, session_median.ln(), 1.0) as u64).clamp(3_600, period);
+            let span = (log_normal(&mut rng, session_median.ln(), 1.0) as u64).clamp(3_600, period);
             let departure = (arrival + span).min(period);
             // Activity happens in short bursts (a sitting of ~hours) spread
             // across the user's span — the pattern real MovieLens/Digg
@@ -156,8 +155,8 @@ impl TraceGenerator {
 
             for &time in &times {
                 // Draw a not-yet-rated item: community pool w.p. affinity.
-                let mut in_community = rng.gen::<f64>() < spec.community_affinity
-                    && !pool.is_empty();
+                let mut in_community =
+                    rng.gen::<f64>() < spec.community_affinity && !pool.is_empty();
                 let mut rejections = 0usize;
                 let item = loop {
                     // Heavy raters exhaust the Zipf head; after a bounded
@@ -256,7 +255,12 @@ mod tests {
         let trace = TraceGenerator::new(small_spec(), 2).generate();
         let mut seen = HashSet::new();
         for e in trace.iter() {
-            assert!(seen.insert((e.user, e.item)), "duplicate {:?}/{:?}", e.user, e.item);
+            assert!(
+                seen.insert((e.user, e.item)),
+                "duplicate {:?}/{:?}",
+                e.user,
+                e.item
+            );
         }
     }
 
@@ -282,7 +286,11 @@ mod tests {
         }
         let head: usize = counts[..spec.items / 10].iter().sum();
         // With Zipf ~0.9, the top decile draws far more than a tenth.
-        assert!(head > trace.len() / 4, "head share too small: {head}/{}", trace.len());
+        assert!(
+            head > trace.len() / 4,
+            "head share too small: {head}/{}",
+            trace.len()
+        );
     }
 
     #[test]
@@ -328,16 +336,17 @@ mod tests {
         let mut other = 0usize;
         for e in binary.iter() {
             if e.vote == hyrec_core::Vote::Like {
-                if generator.community_of_item(e.item)
-                    == generator.community_of_user(e.user)
-                {
+                if generator.community_of_item(e.item) == generator.community_of_user(e.user) {
                     own += 1;
                 } else {
                     other += 1;
                 }
             }
         }
-        assert!(own > other, "likes not community-concentrated: {own} vs {other}");
+        assert!(
+            own > other,
+            "likes not community-concentrated: {own} vs {other}"
+        );
     }
 
     #[test]
@@ -345,7 +354,10 @@ mod tests {
         let spec = DatasetSpec::DIGG.scaled(0.02);
         let trace = TraceGenerator::new(spec, 7).generate().binarize();
         let profiles = trace.final_profiles();
-        let avg: f64 = profiles.iter().map(|(_, p)| p.exposure_len() as f64).sum::<f64>()
+        let avg: f64 = profiles
+            .iter()
+            .map(|(_, p)| p.exposure_len() as f64)
+            .sum::<f64>()
             / profiles.len() as f64;
         assert!(avg < 30.0, "Digg profiles should be small, got {avg:.1}");
     }

@@ -113,11 +113,16 @@ impl DatasetSpec {
     /// Panics if `factor` is not within `(0, 1]`.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> DatasetSpec {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         DatasetSpec {
             users: ((self.users as f64 * factor) as usize).max(2),
             ratings: ((self.ratings as f64 * factor) as usize).max(10),
-            communities: self.communities.min(((self.users as f64 * factor) as usize).max(2)),
+            communities: self
+                .communities
+                .min(((self.users as f64 * factor) as usize).max(2)),
             ..*self
         }
     }

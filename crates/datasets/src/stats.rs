@@ -57,7 +57,11 @@ impl TraceStats {
             } else {
                 ratings as f64 / user_count as f64
             },
-            like_fraction: if ratings == 0 { 0.0 } else { likes as f64 / ratings as f64 },
+            like_fraction: if ratings == 0 {
+                0.0
+            } else {
+                likes as f64 / ratings as f64
+            },
             duration_days: trace.horizon().days(),
         }
     }

@@ -1,6 +1,6 @@
 //! Trace types: timestamped rating events, star→binary projection, splits.
 
-use hyrec_core::{ItemId, Profile, UserId, Vote};
+use hyrec_core::{ItemId, Profile, SharedProfile, UserId, Vote};
 use std::collections::HashMap;
 
 /// Seconds since the start of the trace.
@@ -104,7 +104,11 @@ impl StarTrace {
                 TraceEvent {
                     user: e.user,
                     item: e.item,
-                    vote: if f64::from(e.stars) > mean { Vote::Like } else { Vote::Dislike },
+                    vote: if f64::from(e.stars) > mean {
+                        Vote::Like
+                    } else {
+                        Vote::Dislike
+                    },
                     time: e.time,
                 }
             })
@@ -175,23 +179,35 @@ impl Trace {
     /// Panics if `fraction` is outside `[0, 1]`.
     #[must_use]
     pub fn split_chronological(&self, fraction: f64) -> (Trace, Trace) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let cut = (self.events.len() as f64 * fraction) as usize;
         (
-            Trace { events: self.events[..cut].to_vec() },
-            Trace { events: self.events[cut..].to_vec() },
+            Trace {
+                events: self.events[..cut].to_vec(),
+            },
+            Trace {
+                events: self.events[cut..].to_vec(),
+            },
         )
     }
 
     /// Materializes the final profiles implied by the whole trace — the
-    /// input shape for the offline KNN back-ends (Figure 7).
+    /// input shape for the offline KNN back-ends (Figure 7). Profiles come
+    /// out behind shared handles (each is freshly built here, so wrapping is
+    /// a move, not a copy) ready to feed `OfflineBackend::compute`.
     #[must_use]
-    pub fn final_profiles(&self) -> Vec<(UserId, Profile)> {
+    pub fn final_profiles(&self) -> Vec<(UserId, SharedProfile)> {
         let mut profiles: HashMap<UserId, Profile> = HashMap::new();
         for e in &self.events {
             profiles.entry(e.user).or_default().record(e.item, e.vote);
         }
-        let mut out: Vec<(UserId, Profile)> = profiles.into_iter().collect();
+        let mut out: Vec<(UserId, SharedProfile)> = profiles
+            .into_iter()
+            .map(|(u, p)| (u, SharedProfile::new(p)))
+            .collect();
         out.sort_by_key(|(u, _)| *u);
         out
     }
@@ -208,7 +224,12 @@ mod tests {
     use super::*;
 
     fn ev(user: u32, item: u32, vote: Vote, t: u64) -> TraceEvent {
-        TraceEvent { user: UserId(user), item: ItemId(item), vote, time: Timestamp(t) }
+        TraceEvent {
+            user: UserId(user),
+            item: ItemId(item),
+            vote,
+            time: Timestamp(t),
+        }
     }
 
     #[test]
@@ -228,23 +249,56 @@ mod tests {
         // User 1 rates 5,3,1 (mean 3): only the 5 becomes a like.
         // User 2 rates 4,4 (mean 4): nothing is strictly above the mean.
         let star = StarTrace::new(vec![
-            StarEvent { user: UserId(1), item: ItemId(1), stars: 5, time: Timestamp(0) },
-            StarEvent { user: UserId(1), item: ItemId(2), stars: 3, time: Timestamp(1) },
-            StarEvent { user: UserId(1), item: ItemId(3), stars: 1, time: Timestamp(2) },
-            StarEvent { user: UserId(2), item: ItemId(1), stars: 4, time: Timestamp(3) },
-            StarEvent { user: UserId(2), item: ItemId(2), stars: 4, time: Timestamp(4) },
+            StarEvent {
+                user: UserId(1),
+                item: ItemId(1),
+                stars: 5,
+                time: Timestamp(0),
+            },
+            StarEvent {
+                user: UserId(1),
+                item: ItemId(2),
+                stars: 3,
+                time: Timestamp(1),
+            },
+            StarEvent {
+                user: UserId(1),
+                item: ItemId(3),
+                stars: 1,
+                time: Timestamp(2),
+            },
+            StarEvent {
+                user: UserId(2),
+                item: ItemId(1),
+                stars: 4,
+                time: Timestamp(3),
+            },
+            StarEvent {
+                user: UserId(2),
+                item: ItemId(2),
+                stars: 4,
+                time: Timestamp(4),
+            },
         ]);
         let binary = star.binarize();
         let votes: Vec<Vote> = binary.iter().map(|e| e.vote).collect();
         assert_eq!(
             votes,
-            vec![Vote::Like, Vote::Dislike, Vote::Dislike, Vote::Dislike, Vote::Dislike]
+            vec![
+                Vote::Like,
+                Vote::Dislike,
+                Vote::Dislike,
+                Vote::Dislike,
+                Vote::Dislike
+            ]
         );
     }
 
     #[test]
     fn split_is_chronological_and_exact() {
-        let trace: Trace = (0..100u64).map(|t| ev(1, t as u32, Vote::Like, t)).collect();
+        let trace: Trace = (0..100u64)
+            .map(|t| ev(1, t as u32, Vote::Like, t))
+            .collect();
         let (train, test) = trace.split_chronological(0.8);
         assert_eq!(train.len(), 80);
         assert_eq!(test.len(), 20);

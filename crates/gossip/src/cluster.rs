@@ -37,7 +37,10 @@ impl ClusterView {
     /// Creates an empty view keeping at most `capacity` peers.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::new(), capacity }
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Current entries, most similar first.
@@ -143,7 +146,11 @@ mod tests {
         view.merge(
             UserId(0),
             &me,
-            [(UserId(1), &close, 0), (UserId(2), &far, 0), (UserId(3), &mid, 0)],
+            [
+                (UserId(1), &close, 0),
+                (UserId(2), &far, 0),
+                (UserId(3), &mid, 0),
+            ],
         );
         assert_eq!(view.len(), 2);
         assert_eq!(view.entries()[0].peer, UserId(1));

@@ -36,7 +36,13 @@ pub struct GossipConfig {
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        Self { rps_view_size: 10, k: 10, cycle_seconds: 60, size_mode: SizeMode::Json, seed: 0x90551 }
+        Self {
+            rps_view_size: 10,
+            k: 10,
+            cycle_seconds: 60,
+            size_mode: SizeMode::Json,
+            seed: 0x90551,
+        }
     }
 }
 
@@ -92,8 +98,11 @@ impl GossipNetwork {
     #[must_use]
     pub fn new(profiles: Vec<(UserId, Profile)>, config: GossipConfig) -> Self {
         let n = profiles.len();
-        let index: HashMap<UserId, usize> =
-            profiles.iter().enumerate().map(|(i, (u, _))| (*u, i)).collect();
+        let index: HashMap<UserId, usize> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, (u, _))| (*u, i))
+            .collect();
         let nodes: Vec<Node> = profiles
             .into_iter()
             .enumerate()
@@ -104,7 +113,10 @@ impl GossipNetwork {
                         let peer = (i + offset) % n;
                         rps_view.merge(
                             user,
-                            [ViewEntry { peer: UserId(peer as u32), age: 0 }],
+                            [ViewEntry {
+                                peer: UserId(peer as u32),
+                                age: 0,
+                            }],
                         );
                     }
                 }
@@ -148,7 +160,10 @@ impl GossipNetwork {
                 positions
                     .into_iter()
                     .filter(|&p| p < ids.len())
-                    .map(|p| ViewEntry { peer: ids[p], age: 0 }),
+                    .map(|p| ViewEntry {
+                        peer: ids[p],
+                        age: 0,
+                    }),
             );
             node.rps_view = fresh;
         }
@@ -216,7 +231,9 @@ impl GossipNetwork {
             Some(e) => e.peer,
             None => return,
         };
-        let Some(&j) = self.index.get(&partner) else { return };
+        let Some(&j) = self.index.get(&partner) else {
+            return;
+        };
         if j == i {
             return;
         }
@@ -268,7 +285,9 @@ impl GossipNetwork {
             Some(cluster_entries[self.rng.gen_range(0..cluster_entries.len())].peer)
         };
         let Some(partner) = partner else { return };
-        let Some(&j) = self.index.get(&partner) else { return };
+        let Some(&j) = self.index.get(&partner) else {
+            return;
+        };
         if j == i || !self.nodes[j].online {
             return;
         }
@@ -310,7 +329,9 @@ impl GossipNetwork {
         let mut pulled: Vec<(UserId, Profile, u32)> = Vec::new();
         for _ in 0..2.min(rps_peers.len()) {
             let peer = rps_peers[self.rng.gen_range(0..rps_peers.len())];
-            let Some(&p) = self.index.get(&peer) else { continue };
+            let Some(&p) = self.index.get(&peer) else {
+                continue;
+            };
             if p == i || !self.nodes[p].online {
                 continue;
             }
@@ -360,10 +381,14 @@ impl GossipNetwork {
     pub fn knn_of(&self, user: UserId) -> Option<Neighborhood> {
         let &i = self.index.get(&user)?;
         Some(Neighborhood::from_neighbors(
-            self.nodes[i].cluster_view.entries().iter().map(|e| Neighbor {
-                user: e.peer,
-                similarity: e.similarity,
-            }),
+            self.nodes[i]
+                .cluster_view
+                .entries()
+                .iter()
+                .map(|e| Neighbor {
+                    user: e.peer,
+                    similarity: e.similarity,
+                }),
         ))
     }
 
@@ -371,7 +396,9 @@ impl GossipNetwork {
     /// no network interaction needed, Section 2.3).
     #[must_use]
     pub fn recommend(&self, user: UserId, r: usize) -> Vec<Recommendation> {
-        let Some(&i) = self.index.get(&user) else { return Vec::new() };
+        let Some(&i) = self.index.get(&user) else {
+            return Vec::new();
+        };
         let node = &self.nodes[i];
         recommend::most_popular(
             &node.profile,
@@ -387,7 +414,10 @@ impl GossipNetwork {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.cluster_view.view_similarity()).sum::<f64>()
+        self.nodes
+            .iter()
+            .map(|n| n.cluster_view.view_similarity())
+            .sum::<f64>()
             / self.nodes.len() as f64
     }
 
@@ -456,7 +486,13 @@ mod tests {
                 )
             })
             .collect();
-        GossipNetwork::new(profiles, GossipConfig { k: 5, ..GossipConfig::default() })
+        GossipNetwork::new(
+            profiles,
+            GossipConfig {
+                k: 5,
+                ..GossipConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -522,13 +558,17 @@ mod tests {
         let profiles: Vec<(UserId, Profile)> = (0..20u32)
             .map(|u| {
                 let c = u % 2;
-                let liked: Vec<u32> =
-                    (0..6u32).map(|o| c * 100 + (u / 2 + o) % 10).collect();
+                let liked: Vec<u32> = (0..6u32).map(|o| c * 100 + (u / 2 + o) % 10).collect();
                 (UserId(u), Profile::from_liked(liked))
             })
             .collect();
-        let mut network =
-            GossipNetwork::new(profiles, GossipConfig { k: 5, ..GossipConfig::default() });
+        let mut network = GossipNetwork::new(
+            profiles,
+            GossipConfig {
+                k: 5,
+                ..GossipConfig::default()
+            },
+        );
         network.run(15);
         // Give one cluster-0 peer an item nobody else has.
         network.record(UserId(2), ItemId(999), Vote::Like);

@@ -60,7 +60,13 @@ mod tests {
     fn shuffle_payload_contains_self_fresh() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut view = PartialView::new(6);
-        view.merge(UserId(0), (1..=6).map(|p| ViewEntry { peer: UserId(p), age: p }));
+        view.merge(
+            UserId(0),
+            (1..=6).map(|p| ViewEntry {
+                peer: UserId(p),
+                age: p,
+            }),
+        );
         let payload = shuffle_payload(UserId(0), &view, 6, &mut rng);
         let me = payload.iter().find(|e| e.peer == UserId(0)).unwrap();
         assert_eq!(me.age, 0);
@@ -72,8 +78,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut a_view = PartialView::new(4);
         let mut b_view = PartialView::new(4);
-        a_view.merge(UserId(1), [ViewEntry { peer: UserId(10), age: 0 }]);
-        b_view.merge(UserId(2), [ViewEntry { peer: UserId(20), age: 0 }]);
+        a_view.merge(
+            UserId(1),
+            [ViewEntry {
+                peer: UserId(10),
+                age: 0,
+            }],
+        );
+        b_view.merge(
+            UserId(2),
+            [ViewEntry {
+                peer: UserId(20),
+                age: 0,
+            }],
+        );
         apply_shuffle(UserId(1), &mut a_view, UserId(2), &mut b_view, 4, &mut rng);
         // Each side now knows the other.
         assert!(a_view.contains(UserId(2)));
@@ -92,7 +110,10 @@ mod tests {
                 let mut v = PartialView::new(capacity);
                 v.merge(
                     UserId(i),
-                    [ViewEntry { peer: UserId((i + 1) % n), age: 0 }],
+                    [ViewEntry {
+                        peer: UserId((i + 1) % n),
+                        age: 0,
+                    }],
                 );
                 v
             })
@@ -131,6 +152,10 @@ mod tests {
                 seen.insert(e.peer);
             }
         }
-        assert!(seen.len() as u32 >= n - 2, "knowledge failed to spread: {}", seen.len());
+        assert!(
+            seen.len() as u32 >= n - 2,
+            "knowledge failed to spread: {}",
+            seen.len()
+        );
     }
 }

@@ -22,7 +22,10 @@ impl PartialView {
     /// Creates an empty view bounded to `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::with_capacity(capacity), capacity }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Current entries, unordered.
@@ -92,7 +95,10 @@ mod tests {
     use super::*;
 
     fn entry(peer: u32, age: u32) -> ViewEntry {
-        ViewEntry { peer: UserId(peer), age }
+        ViewEntry {
+            peer: UserId(peer),
+            age,
+        }
     }
 
     #[test]

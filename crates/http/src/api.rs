@@ -46,12 +46,14 @@ pub fn hyrec_router(server: Arc<HyRecServer>) -> Router {
 
     // POST /neighbors/ with a gzipped KnnUpdate body (our wire form).
     let post_server = Arc::clone(&server);
-    router.post("/neighbors/", move |req| match KnnUpdate::decode(&req.body) {
-        Ok(update) => {
-            post_server.apply_update(&update);
-            Response::ok("application/json", b"{\"ok\":true}".to_vec())
+    router.post("/neighbors/", move |req| {
+        match KnnUpdate::decode(&req.body) {
+            Ok(update) => {
+                post_server.apply_update(&update);
+                Response::ok("application/json", b"{\"ok\":true}".to_vec())
+            }
+            Err(err) => Response::bad_request(&err.to_string()),
         }
-        Err(err) => Response::bad_request(&err.to_string()),
     });
 
     // GET /rate/?uid=N&item=I&like=0|1 — profile update.
@@ -100,7 +102,9 @@ fn parse_knn_query(req: &Request) -> Result<KnnUpdate, String> {
             .map_err(|_| format!("invalid id{index}"))?;
         // Similarities are optional in the paper's GET form; default 0.
         let similarity = match sims.get(index) {
-            Some(s) => s.parse::<f64>().map_err(|_| format!("invalid sim{index}"))?,
+            Some(s) => s
+                .parse::<f64>()
+                .map_err(|_| format!("invalid sim{index}"))?,
             None => 0.0,
         };
         neighbors.push(Neighbor { user, similarity });
@@ -191,7 +195,10 @@ mod tests {
         assert_eq!(client.get("/online/").unwrap().status, 400);
         assert_eq!(client.get("/online/?uid=abc").unwrap().status, 400);
         assert_eq!(client.get("/neighbors/?uid=1&id0=zz").unwrap().status, 400);
-        assert_eq!(client.get("/rate/?uid=1&item=2&like=5").unwrap().status, 400);
+        assert_eq!(
+            client.get("/rate/?uid=1&item=2&like=5").unwrap().status,
+            400
+        );
         assert_eq!(client.get("/rate/?uid=1").unwrap().status, 400);
         let post = client.post("/neighbors/", b"not gzip").unwrap();
         assert_eq!(post.status, 400);

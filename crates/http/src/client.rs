@@ -17,7 +17,10 @@ impl HttpClient {
     /// Creates a client for `addr` with a 10 s timeout.
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
-        Self { addr, timeout: Duration::from_secs(10) }
+        Self {
+            addr,
+            timeout: Duration::from_secs(10),
+        }
     }
 
     /// Overrides the socket timeout.
@@ -46,8 +49,7 @@ impl HttpClient {
     }
 
     fn request(&self, method: &str, target: &str, body: &[u8]) -> Result<Response, String> {
-        let mut stream =
-            TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+        let mut stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
         stream
             .set_read_timeout(Some(self.timeout))
             .map_err(|e| format!("timeout: {e}"))?;
@@ -59,7 +61,9 @@ impl HttpClient {
             body.len()
         )
         .map_err(|e| format!("write: {e}"))?;
-        stream.write_all(body).map_err(|e| format!("write body: {e}"))?;
+        stream
+            .write_all(body)
+            .map_err(|e| format!("write body: {e}"))?;
 
         parse_response(&mut stream)
     }
@@ -71,7 +75,7 @@ fn parse_response<R: Read>(stream: R) -> Result<Response, String> {
     reader
         .read_line(&mut status_line)
         .map_err(|e| format!("read status: {e}"))?;
-    let mut parts = status_line.trim_end().split_whitespace();
+    let mut parts = status_line.split_whitespace();
     let version = parts.next().ok_or("empty response")?;
     if !version.starts_with("HTTP/1.") {
         return Err(format!("bad version {version}"));
@@ -85,7 +89,9 @@ fn parse_response<R: Read>(stream: R) -> Result<Response, String> {
     let mut headers = HashMap::new();
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| format!("read header: {e}"))?;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header: {e}"))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -99,7 +105,9 @@ fn parse_response<R: Read>(stream: R) -> Result<Response, String> {
         Some(len) => {
             let len: usize = len.parse().map_err(|_| "bad content-length".to_owned())?;
             let mut body = vec![0u8; len];
-            reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
             body
         }
         None => {
@@ -110,7 +118,11 @@ fn parse_response<R: Read>(stream: R) -> Result<Response, String> {
             body
         }
     };
-    Ok(Response { status, headers, body })
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]

@@ -55,7 +55,9 @@ impl Request {
     /// Header value (name case-insensitive).
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Parses one request from a stream.
@@ -67,15 +69,21 @@ impl Request {
     pub fn parse<R: Read>(stream: R) -> Result<Self, String> {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| format!("read error: {e}"))?;
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read error: {e}"))?;
         let line = line.trim_end();
         let mut parts = line.split_whitespace();
         let method = parts
             .next()
             .ok_or_else(|| "empty request line".to_owned())?
             .to_ascii_uppercase();
-        let target = parts.next().ok_or_else(|| "missing request target".to_owned())?;
-        let version = parts.next().ok_or_else(|| "missing http version".to_owned())?;
+        let target = parts
+            .next()
+            .ok_or_else(|| "missing request target".to_owned())?;
+        let version = parts
+            .next()
+            .ok_or_else(|| "missing http version".to_owned())?;
         if !version.starts_with("HTTP/1.") {
             return Err(format!("unsupported version {version}"));
         }
@@ -107,8 +115,9 @@ impl Request {
 
         let body = match headers.get("content-length") {
             Some(len) => {
-                let len: usize =
-                    len.parse().map_err(|_| "invalid content-length".to_owned())?;
+                let len: usize = len
+                    .parse()
+                    .map_err(|_| "invalid content-length".to_owned())?;
                 if len > MAX_BODY_BYTES {
                     return Err("body too large".to_owned());
                 }
@@ -121,7 +130,13 @@ impl Request {
             None => Vec::new(),
         };
 
-        Ok(Request { method, path, query, headers, body })
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
     }
 }
 
@@ -149,7 +164,9 @@ fn percent_decode(s: &str) -> String {
             }
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3).and_then(|h| {
-                    std::str::from_utf8(h).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
                 });
                 match hex {
                     Some(b) => {
@@ -181,10 +198,9 @@ mod tests {
 
     #[test]
     fn parses_get_with_query() {
-        let req = parse_str(
-            "GET /online/?uid=42&k=10 HTTP/1.1\r\nHost: hyrec\r\nAccept: */*\r\n\r\n",
-        )
-        .unwrap();
+        let req =
+            parse_str("GET /online/?uid=42&k=10 HTTP/1.1\r\nHost: hyrec\r\nAccept: */*\r\n\r\n")
+                .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/online/");
         assert_eq!(req.query_param("uid"), Some("42"));
@@ -197,10 +213,8 @@ mod tests {
 
     #[test]
     fn parses_indexed_params_in_order() {
-        let req = parse_str(
-            "GET /neighbors/?uid=1&id0=7&id1=9&id2=3&sim0=0.5 HTTP/1.1\r\n\r\n",
-        )
-        .unwrap();
+        let req =
+            parse_str("GET /neighbors/?uid=1&id0=7&id1=9&id2=3&sim0=0.5 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.indexed_params("id"), vec!["7", "9", "3"]);
         assert_eq!(req.indexed_params("sim"), vec!["0.5"]);
         assert!(req.indexed_params("x").is_empty());
@@ -208,10 +222,7 @@ mod tests {
 
     #[test]
     fn parses_post_with_body() {
-        let req = parse_str(
-            "POST /neighbors/ HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
-        )
-        .unwrap();
+        let req = parse_str("POST /neighbors/ HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, b"hello");
     }

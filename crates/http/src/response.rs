@@ -20,7 +20,11 @@ impl Response {
     pub fn ok(content_type: &str, body: Vec<u8>) -> Self {
         let mut headers = HashMap::new();
         headers.insert("content-type".to_owned(), content_type.to_owned());
-        Self { status: 200, headers, body }
+        Self {
+            status: 200,
+            headers,
+            body,
+        }
     }
 
     /// A JSON `200 OK`, gzip-compressed exactly like the paper's server
@@ -49,7 +53,11 @@ impl Response {
     pub fn error(status: u16, message: &str) -> Self {
         let mut headers = HashMap::new();
         headers.insert("content-type".to_owned(), "text/plain".to_owned());
-        Self { status, headers, body: message.as_bytes().to_vec() }
+        Self {
+            status,
+            headers,
+            body: message.as_bytes().to_vec(),
+        }
     }
 
     /// `404 Not Found`.
@@ -67,7 +75,9 @@ impl Response {
     /// Header value (name case-insensitive).
     #[must_use]
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// The body, transparently gunzipped when `Content-Encoding: gzip`.

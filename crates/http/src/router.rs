@@ -76,8 +76,7 @@ impl Router {
             let (method, prefix, _) = route;
             if request.path.starts_with(prefix.as_str()) {
                 path_matched = true;
-                if *method == request.method
-                    && best.map_or(true, |(_, b, _)| prefix.len() > b.len())
+                if *method == request.method && best.is_none_or(|(_, b, _)| prefix.len() > b.len())
                 {
                     best = Some(route);
                 }
@@ -104,7 +103,9 @@ mod tests {
         let mut router = Router::new();
         router.get("/", |_| Response::ok("text/plain", b"root".to_vec()));
         router.get("/api/", |_| Response::ok("text/plain", b"api".to_vec()));
-        router.get("/api/deep/", |_| Response::ok("text/plain", b"deep".to_vec()));
+        router.get("/api/deep/", |_| {
+            Response::ok("text/plain", b"deep".to_vec())
+        });
 
         assert_eq!(router.dispatch(&req("GET", "/x")).body, b"root");
         assert_eq!(router.dispatch(&req("GET", "/api/online")).body, b"api");

@@ -121,7 +121,12 @@ impl HttpServer {
             }
             pool.join();
         });
-        ServerHandle { addr, shutdown, accept_thread: Some(accept_thread), requests }
+        ServerHandle {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            requests,
+        }
     }
 }
 

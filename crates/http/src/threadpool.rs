@@ -33,7 +33,9 @@ pub struct ThreadPool {
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("workers", &self.workers.len()).finish()
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
     }
 }
 
@@ -63,7 +65,10 @@ impl ThreadPool {
                 })
             })
             .collect();
-        Self { workers, sender: Some(sender) }
+        Self {
+            workers,
+            sender: Some(sender),
+        }
     }
 
     /// Number of workers.

@@ -67,11 +67,10 @@ impl<'a> CRecFrontEnd<'a> {
         hood: &Neighborhood,
         r: usize,
     ) -> Vec<Recommendation> {
-        let neighbor_profiles: Vec<Profile> = hood
-            .users()
-            .filter_map(|v| self.profiles.get(v))
-            .collect();
-        recommend::most_popular(profile, neighbor_profiles.iter(), r)
+        // `get` hands back shared handles; no profile is copied here.
+        let neighbor_profiles: Vec<std::sync::Arc<Profile>> =
+            hood.users().filter_map(|v| self.profiles.get(v)).collect();
+        recommend::most_popular(profile, neighbor_profiles.iter().map(AsRef::as_ref), r)
     }
 }
 
@@ -94,8 +93,14 @@ mod tests {
         knn.update(
             UserId(1),
             Neighborhood::from_neighbors([
-                Neighbor { user: UserId(2), similarity: 0.6 },
-                Neighbor { user: UserId(3), similarity: 0.3 },
+                Neighbor {
+                    user: UserId(2),
+                    similarity: 0.6,
+                },
+                Neighbor {
+                    user: UserId(3),
+                    similarity: 0.3,
+                },
             ]),
         );
         (profiles, knn)
@@ -135,7 +140,10 @@ mod tests {
         profiles.record(UserId(1), ItemId(1), Vote::Like);
         knn.update(
             UserId(1),
-            Neighborhood::from_neighbors([Neighbor { user: UserId(77), similarity: 0.9 }]),
+            Neighborhood::from_neighbors([Neighbor {
+                user: UserId(77),
+                similarity: 0.9,
+            }]),
         );
         let front = CRecFrontEnd::new(&profiles, &knn);
         assert!(front.recommend(UserId(1), 5).is_empty());

@@ -24,6 +24,7 @@
 //! [`PersonalizationJob::decode`]: the candidates array carries a leading
 //! `null` sentinel (chunk-alignment artifact) which the decoder skips.
 
+use hyrec_core::FastHashMap;
 use hyrec_core::{Profile, UserId};
 use hyrec_wire::crc::{crc32, ShiftOp};
 use hyrec_wire::deflate::lz77::Effort;
@@ -31,7 +32,6 @@ use hyrec_wire::deflate::{compress_chunk, STREAM_TERMINATOR};
 use hyrec_wire::gzip;
 use hyrec_wire::PersonalizationJob;
 use parking_lot::RwLock;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// FNV-1a over the profile's vote lists — cheap fingerprint for cache
@@ -109,7 +109,7 @@ struct CachedFragment {
 /// ```
 #[derive(Default)]
 pub struct JobEncoder {
-    cache: RwLock<HashMap<UserId, CachedFragment>>,
+    cache: RwLock<FastHashMap<UserId, CachedFragment>>,
 }
 
 impl std::fmt::Debug for JobEncoder {
@@ -134,15 +134,16 @@ impl JobEncoder {
     }
 
     /// Fetches (or builds) the compressed fragment for one candidate.
-    fn fragment(
-        &self,
-        user: UserId,
-        profile: &Profile,
-    ) -> (Arc<Vec<u8>>, u32, u64, ShiftOp) {
+    fn fragment(&self, user: UserId, profile: &Profile) -> (Arc<Vec<u8>>, u32, u64, ShiftOp) {
         let fp = fingerprint(profile);
         if let Some(entry) = self.cache.read().get(&user) {
             if entry.fingerprint == fp {
-                return (Arc::clone(&entry.chunk), entry.crc, entry.raw_len, entry.shift);
+                return (
+                    Arc::clone(&entry.chunk),
+                    entry.crc,
+                    entry.raw_len,
+                    entry.shift,
+                );
             }
         }
         let mut raw = String::with_capacity(32 + profile.exposure_len() * 7);
@@ -227,7 +228,7 @@ mod tests {
             uid: UserId(1),
             k: 2,
             r: 3,
-            profile: Profile::from_liked([1u32, 2]),
+            profile: Profile::from_liked([1u32, 2]).into(),
             candidates,
         }
     }
@@ -282,7 +283,11 @@ mod tests {
         job.candidates = candidates;
 
         let after = PersonalizationJob::decode(&encoder.encode(&job)).unwrap();
-        let c2 = after.candidates.iter().find(|c| c.user == UserId(2)).unwrap();
+        let c2 = after
+            .candidates
+            .iter()
+            .find(|c| c.user == UserId(2))
+            .unwrap();
         assert!(c2.profile.likes(hyrec_core::ItemId(999)));
     }
 
@@ -299,7 +304,7 @@ mod tests {
             uid: UserId(0),
             k: 1,
             r: 1,
-            profile: Profile::new(),
+            profile: Profile::new().into(),
             candidates: CandidateSet::new(),
         };
         let encoder = JobEncoder::new();
@@ -320,7 +325,7 @@ mod tests {
             uid: UserId(1),
             k: 10,
             r: 10,
-            profile: Profile::from_liked(0u32..50),
+            profile: Profile::from_liked(0u32..50).into(),
             candidates,
         };
         let encoder = JobEncoder::new();

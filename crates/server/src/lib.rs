@@ -64,8 +64,8 @@ pub mod sampler;
 pub mod server;
 
 pub use config::{HyRecConfig, HyRecConfigBuilder};
-pub use encoder::JobEncoder;
 pub use crec::CRecFrontEnd;
+pub use encoder::JobEncoder;
 pub use offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
 pub use online_ideal::OnlineIdeal;
 pub use sampler::{DefaultSampler, NoRandomSampler, RandomOnlySampler, Sampler};

@@ -9,7 +9,7 @@
 //! 10–20 rounds like the epidemic protocols it derives from.
 
 use super::{exhaustive::default_workers, parallel_chunks, OfflineBackend};
-use hyrec_core::{knn, Cosine, Neighborhood, Profile, UserId};
+use hyrec_core::{knn, Cosine, Neighborhood, SharedProfile, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -30,7 +30,12 @@ pub struct CRecBackend {
 
 impl Default for CRecBackend {
     fn default() -> Self {
-        Self { workers: default_workers(), max_rounds: 20, epsilon: 1e-4, seed: 0xC4EC }
+        Self {
+            workers: default_workers(),
+            max_rounds: 20,
+            epsilon: 1e-4,
+            seed: 0xC4EC,
+        }
     }
 }
 
@@ -38,21 +43,27 @@ impl CRecBackend {
     /// Creates a back-end with explicit workers and defaults elsewhere.
     #[must_use]
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1), ..Self::default() }
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
     }
 
     /// Runs the rounds, returning the table and the number of rounds used.
     pub fn compute_with_rounds(
         &self,
-        profiles: &[(UserId, Profile)],
+        profiles: &[(UserId, SharedProfile)],
         k: usize,
     ) -> (Vec<(UserId, Neighborhood)>, usize) {
         let n = profiles.len();
         if n == 0 {
             return (Vec::new(), 0);
         }
-        let index: HashMap<UserId, usize> =
-            profiles.iter().enumerate().map(|(i, (u, _))| (*u, i)).collect();
+        let index: HashMap<UserId, usize> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, (u, _))| (*u, i))
+            .collect();
 
         // Round 0: random neighbourhoods (how a cold system starts).
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -98,7 +109,9 @@ impl CRecBackend {
                 let (_, ref my_profile) = profiles[me];
                 knn::select(
                     my_profile,
-                    candidates.iter().map(|&v| (profiles[v].0, &profiles[v].1)),
+                    candidates
+                        .iter()
+                        .map(|&v| (profiles[v].0, profiles[v].1.as_ref())),
                     k,
                     &Cosine,
                 )
@@ -131,7 +144,11 @@ impl CRecBackend {
 }
 
 impl OfflineBackend for CRecBackend {
-    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)> {
+    fn compute(
+        &self,
+        profiles: &[(UserId, SharedProfile)],
+        k: usize,
+    ) -> Vec<(UserId, Neighborhood)> {
         self.compute_with_rounds(profiles, k).0
     }
 
@@ -145,14 +162,14 @@ mod tests {
     use super::*;
     use crate::offline::ExhaustiveBackend;
 
-    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, Profile)> {
+    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, SharedProfile)> {
         (0..clusters * per_cluster)
             .map(|u| {
                 let cluster = u % clusters;
-                let profile = Profile::from_liked(
+                let profile = hyrec_core::Profile::from_liked(
                     (0..8u32).map(|i| cluster * 100 + i).collect::<Vec<_>>(),
                 );
-                (UserId(u), profile)
+                (UserId(u), SharedProfile::new(profile))
             })
             .collect()
     }
@@ -181,7 +198,9 @@ mod tests {
         let a = CRecBackend::new(2).compute(&profiles, 4);
         let b = CRecBackend::new(2).compute(&profiles, 4);
         let views = |t: &[(UserId, Neighborhood)]| {
-            t.iter().map(|(_, h)| h.view_similarity()).collect::<Vec<_>>()
+            t.iter()
+                .map(|(_, h)| h.view_similarity())
+                .collect::<Vec<_>>()
         };
         assert_eq!(views(&a), views(&b));
     }
@@ -201,7 +220,10 @@ mod tests {
     #[test]
     fn early_stop_uses_fewer_rounds_on_easy_input() {
         let profiles = clustered_profiles(2, 10);
-        let backend = CRecBackend { max_rounds: 50, ..CRecBackend::new(2) };
+        let backend = CRecBackend {
+            max_rounds: 50,
+            ..CRecBackend::new(2)
+        };
         let (_, rounds) = backend.compute_with_rounds(&profiles, 4);
         assert!(rounds < 50, "early stopping never triggered");
     }

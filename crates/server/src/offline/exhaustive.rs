@@ -6,7 +6,7 @@
 //! with dataset size.
 
 use super::{parallel_chunks, OfflineBackend};
-use hyrec_core::{knn, Cosine, Neighborhood, Profile, Similarity, UserId};
+use hyrec_core::{knn, Cosine, Neighborhood, SharedProfile, Similarity, UserId};
 
 /// Exact all-pairs KNN with a configurable worker count.
 #[derive(Debug, Clone, Copy)]
@@ -17,7 +17,9 @@ pub struct ExhaustiveBackend {
 
 impl Default for ExhaustiveBackend {
     fn default() -> Self {
-        Self { workers: default_workers() }
+        Self {
+            workers: default_workers(),
+        }
     }
 }
 
@@ -29,20 +31,25 @@ impl ExhaustiveBackend {
     /// Creates the back-end with an explicit worker count.
     #[must_use]
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self {
+            workers: workers.max(1),
+        }
     }
 
     /// Computes the exact KNN table with an arbitrary similarity metric.
     pub fn compute_with<S: Similarity>(
         &self,
-        profiles: &[(UserId, Profile)],
+        profiles: &[(UserId, SharedProfile)],
         k: usize,
         metric: &S,
     ) -> Vec<(UserId, Neighborhood)> {
         parallel_chunks(profiles, self.workers, |(user, profile)| {
             let hood = knn::select(
                 profile,
-                profiles.iter().filter(|(v, _)| v != user).map(|(v, p)| (*v, p)),
+                profiles
+                    .iter()
+                    .filter(|(v, _)| v != user)
+                    .map(|(v, p)| (*v, p.as_ref())),
                 k,
                 metric,
             );
@@ -52,7 +59,11 @@ impl ExhaustiveBackend {
 }
 
 impl OfflineBackend for ExhaustiveBackend {
-    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)> {
+    fn compute(
+        &self,
+        profiles: &[(UserId, SharedProfile)],
+        k: usize,
+    ) -> Vec<(UserId, Neighborhood)> {
         self.compute_with(profiles, k, &Cosine)
     }
 
@@ -65,13 +76,14 @@ impl OfflineBackend for ExhaustiveBackend {
 mod tests {
     use super::*;
 
-    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, Profile)> {
+    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, SharedProfile)> {
         (0..clusters * per_cluster)
             .map(|u| {
                 let cluster = u % clusters;
-                let profile =
-                    Profile::from_liked((0..6u32).map(|i| cluster * 100 + i).collect::<Vec<_>>());
-                (UserId(u), profile)
+                let profile = hyrec_core::Profile::from_liked(
+                    (0..6u32).map(|i| cluster * 100 + i).collect::<Vec<_>>(),
+                );
+                (UserId(u), SharedProfile::new(profile))
             })
             .collect()
     }
@@ -119,8 +131,7 @@ mod tests {
     #[test]
     fn jaccard_variant_works() {
         let profiles = clustered_profiles(2, 4);
-        let table =
-            ExhaustiveBackend::new(2).compute_with(&profiles, 3, &hyrec_core::Jaccard);
+        let table = ExhaustiveBackend::new(2).compute_with(&profiles, 3, &hyrec_core::Jaccard);
         assert_eq!(table.len(), 8);
         assert!(table.iter().all(|(_, h)| h.view_similarity() > 0.9));
     }

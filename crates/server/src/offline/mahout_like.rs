@@ -22,7 +22,7 @@
 //! code play both *MahoutSingle* (1 node) and *ClusMahout* (2 nodes).
 
 use super::{parallel_chunks, OfflineBackend};
-use hyrec_core::{topk::TopK, Neighbor, Neighborhood, Profile, UserId};
+use hyrec_core::{topk::TopK, Neighbor, Neighborhood, SharedProfile, UserId};
 use std::collections::HashMap;
 
 /// Exact KNN via item co-occurrence with Hadoop-style staging.
@@ -39,7 +39,11 @@ pub struct MahoutLikeBackend {
 
 impl Default for MahoutLikeBackend {
     fn default() -> Self {
-        Self { nodes: 1, threads_per_node: 4, max_prefs_per_item: 300 }
+        Self {
+            nodes: 1,
+            threads_per_node: 4,
+            max_prefs_per_item: 300,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ impl MahoutLikeBackend {
     /// A two-node deployment (the paper's *ClusMahout*).
     #[must_use]
     pub fn cluster() -> Self {
-        Self { nodes: 2, ..Self::default() }
+        Self {
+            nodes: 2,
+            ..Self::default()
+        }
     }
 
     fn workers(&self) -> usize {
@@ -62,7 +69,11 @@ impl MahoutLikeBackend {
 }
 
 impl OfflineBackend for MahoutLikeBackend {
-    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)> {
+    fn compute(
+        &self,
+        profiles: &[(UserId, SharedProfile)],
+        k: usize,
+    ) -> Vec<(UserId, Neighborhood)> {
         if profiles.is_empty() {
             return Vec::new();
         }
@@ -113,7 +124,10 @@ impl OfflineBackend for MahoutLikeBackend {
                 top.push(v, sim);
             }
             let hood = Neighborhood::from_neighbors(top.into_sorted_vec().into_iter().map(
-                |(v, similarity)| Neighbor { user: profiles[v as usize].0, similarity },
+                |(v, similarity)| Neighbor {
+                    user: profiles[v as usize].0,
+                    similarity,
+                },
             ));
             (*user, hood)
         });
@@ -163,15 +177,15 @@ fn parse_postings(blob: &[u8]) -> HashMap<u32, Vec<u32>> {
 mod tests {
     use super::*;
     use crate::offline::ExhaustiveBackend;
+    use hyrec_core::Profile;
 
-    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, Profile)> {
+    fn clustered_profiles(clusters: u32, per_cluster: u32) -> Vec<(UserId, SharedProfile)> {
         (0..clusters * per_cluster)
             .map(|u| {
                 let cluster = u % clusters;
-                let profile = Profile::from_liked(
-                    (0..8u32).map(|i| cluster * 100 + i).collect::<Vec<_>>(),
-                );
-                (UserId(u), profile)
+                let profile =
+                    Profile::from_liked((0..8u32).map(|i| cluster * 100 + i).collect::<Vec<_>>());
+                (UserId(u), SharedProfile::new(profile))
             })
             .collect()
     }
@@ -181,7 +195,10 @@ mod tests {
         let profiles = clustered_profiles(3, 8);
         let k = 5;
         let exact = ExhaustiveBackend::new(2).compute(&profiles, k);
-        let backend = MahoutLikeBackend { max_prefs_per_item: usize::MAX, ..Default::default() };
+        let backend = MahoutLikeBackend {
+            max_prefs_per_item: usize::MAX,
+            ..Default::default()
+        };
         let mahout = backend.compute(&profiles, k);
 
         for ((ua, ha), (ub, hb)) in exact.iter().zip(mahout.iter()) {
@@ -209,7 +226,10 @@ mod tests {
     #[test]
     fn capping_degrades_gracefully() {
         let profiles = clustered_profiles(2, 30);
-        let capped = MahoutLikeBackend { max_prefs_per_item: 5, ..Default::default() };
+        let capped = MahoutLikeBackend {
+            max_prefs_per_item: 5,
+            ..Default::default()
+        };
         let table = capped.compute(&profiles, 4);
         assert_eq!(table.len(), 60);
         // Quality is reduced but neighbourhoods still get filled from the
@@ -238,7 +258,7 @@ mod tests {
     #[test]
     fn empty_profiles_get_empty_neighborhoods() {
         let mut profiles = clustered_profiles(1, 3);
-        profiles.push((UserId(99), Profile::new()));
+        profiles.push((UserId(99), SharedProfile::new(Profile::new())));
         let table = MahoutLikeBackend::single().compute(&profiles, 2);
         let (u, hood) = table.last().unwrap();
         assert_eq!(*u, UserId(99));

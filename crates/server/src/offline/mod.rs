@@ -19,21 +19,27 @@ pub use crec_backend::CRecBackend;
 pub use exhaustive::ExhaustiveBackend;
 pub use mahout_like::MahoutLikeBackend;
 
-use hyrec_core::{Neighborhood, Profile, UserId};
+use hyrec_core::{Neighborhood, SharedProfile, UserId};
 
 /// A periodic KNN-selection back-end (the paper's "back-end server").
 pub trait OfflineBackend: Send + Sync {
     /// Computes the k-nearest-neighbour table for every user in `profiles`.
     ///
+    /// Takes shared profile handles — a `ProfileTable::snapshot()` or a
+    /// trace's `final_profiles()` feeds in without copying any item vector.
     /// Result order matches the input order.
-    fn compute(&self, profiles: &[(UserId, Profile)], k: usize) -> Vec<(UserId, Neighborhood)>;
+    fn compute(
+        &self,
+        profiles: &[(UserId, SharedProfile)],
+        k: usize,
+    ) -> Vec<(UserId, Neighborhood)>;
 
     /// Short stable name for experiment output.
     fn name(&self) -> &'static str;
 }
 
 /// Splits `items` into `workers` contiguous chunks and maps them in
-/// parallel with crossbeam scoped threads, preserving order.
+/// parallel with std scoped threads, preserving order.
 pub(crate) fn parallel_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -46,16 +52,15 @@ where
     }
     let chunk_size = items.len().div_ceil(workers);
     let mut results: Vec<Vec<R>> = Vec::with_capacity(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
             .collect();
         for handle in handles {
             results.push(handle.join().expect("worker panicked"));
         }
-    })
-    .expect("scope panicked");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -20,7 +20,11 @@ impl<'a, S: Similarity> OnlineIdeal<'a, S> {
     /// Creates the baseline over the global profile table.
     #[must_use]
     pub fn new(profiles: &'a ProfileTable, metric: S, k: usize) -> Self {
-        Self { profiles, metric, k }
+        Self {
+            profiles,
+            metric,
+            k,
+        }
     }
 
     /// Computes the exact KNN of `user` by scanning every profile.
@@ -30,7 +34,10 @@ impl<'a, S: Similarity> OnlineIdeal<'a, S> {
         let snapshot = self.profiles.snapshot();
         knn::select(
             &profile,
-            snapshot.iter().filter(|(u, _)| *u != user).map(|(u, p)| (*u, p)),
+            snapshot
+                .iter()
+                .filter(|(u, _)| *u != user)
+                .map(|(u, p)| (*u, p.as_ref())),
             self.k,
             &self.metric,
         )
@@ -41,9 +48,8 @@ impl<'a, S: Similarity> OnlineIdeal<'a, S> {
     pub fn recommend(&self, user: UserId, r: usize) -> Vec<Recommendation> {
         let profile = self.profiles.get(user).unwrap_or_default();
         let hood = self.ideal_knn(user);
-        let neighbor_profiles: Vec<_> =
-            hood.users().filter_map(|v| self.profiles.get(v)).collect();
-        recommend::most_popular(&profile, neighbor_profiles.iter(), r)
+        let neighbor_profiles: Vec<_> = hood.users().filter_map(|v| self.profiles.get(v)).collect();
+        recommend::most_popular(&profile, neighbor_profiles.iter().map(AsRef::as_ref), r)
     }
 }
 

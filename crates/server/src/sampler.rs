@@ -66,7 +66,34 @@ impl UserDirectory {
         if users.is_empty() {
             return Vec::new();
         }
-        (0..n).map(|_| users[rng.gen_range(0..users.len())]).collect()
+        (0..n)
+            .map(|_| users[rng.gen_range(0..users.len())])
+            .collect()
+    }
+
+    /// Draws `groups` independent legs of `per_group` random users while
+    /// holding the registry lock once.
+    ///
+    /// Draw order is identical to `groups` sequential [`Self::random_users`]
+    /// calls, so batched and per-user sampling consume the same RNG stream
+    /// and produce the same candidates.
+    pub fn random_users_many(
+        &self,
+        per_group: usize,
+        groups: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<UserId>> {
+        let users = self.users.read();
+        if users.is_empty() {
+            return vec![Vec::new(); groups];
+        }
+        (0..groups)
+            .map(|_| {
+                (0..per_group)
+                    .map(|_| users[rng.gen_range(0..users.len())])
+                    .collect()
+            })
+            .collect()
     }
 
     /// Snapshot of all registered users.
@@ -91,6 +118,27 @@ pub trait Sampler: Send + Sync {
         ctx: &SamplerContext<'_>,
         rng: &mut StdRng,
     ) -> CandidateSet;
+
+    /// Builds candidate sets for a whole batch of users.
+    ///
+    /// The default implementation loops [`Self::sample`]; strategies that
+    /// can amortize table traffic across the batch (see [`DefaultSampler`])
+    /// override it. Implementations must return one set per user, in input
+    /// order, and must consume the RNG exactly as the sequential loop would
+    /// so batched and per-user request paths stay replay-identical.
+    fn sample_batch(
+        &self,
+        users: &[UserId],
+        k: usize,
+        random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<CandidateSet> {
+        users
+            .iter()
+            .map(|&user| self.sample(user, k, random_candidates, ctx, rng))
+            .collect()
+    }
 
     /// Short stable name for experiment output.
     fn name(&self) -> &'static str {
@@ -144,6 +192,129 @@ impl Sampler for DefaultSampler {
             push(&mut set, w);
         }
         set
+    }
+
+    /// Batched candidate assembly with amortized table traffic.
+    ///
+    /// The sequential path acquires a KNN-shard lock per neighbourhood read
+    /// and a profile-shard lock per candidate; for a batch of `B` users with
+    /// `|S_u|` candidates each that is `O(B · |S_u|)` acquisitions. This
+    /// override stages the same reads through the tables' `get_many`
+    /// batch operations — one acquisition per *touched shard* per stage —
+    /// and produces byte-identical candidate sets: random legs are drawn in
+    /// user order (same RNG stream), and per-user insertion order (1-hop,
+    /// 2-hop, random) is preserved.
+    fn sample_batch(
+        &self,
+        users: &[UserId],
+        k: usize,
+        random_candidates: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<CandidateSet> {
+        // Random legs first, in user order — identical RNG consumption to
+        // looping `sample`, with the directory lock held once.
+        let random_legs = ctx
+            .directory
+            .random_users_many(random_candidates, users.len(), rng);
+
+        // 1-hop neighbourhoods of the whole batch (ids extracted under the
+        // shard locks; no Neighborhood is cloned).
+        let one_hop: Vec<Vec<UserId>> = ctx
+            .knn
+            .map_many(users, |h| h.users().collect())
+            .into_iter()
+            .map(Option::unwrap_or_default)
+            .collect();
+
+        // 2-hop: every distinct 1-hop neighbour across the batch, fetched
+        // once (converged tables repeat the same neighbours heavily).
+        // `hop_ids` stays sorted, so lookups are binary searches into the
+        // parallel list — no hash map in the hot path.
+        let mut hop_ids: Vec<UserId> = one_hop.iter().flatten().copied().collect();
+        hop_ids.sort_unstable();
+        hop_ids.dedup();
+        let two_hop_lists: Vec<Vec<UserId>> = ctx
+            .knn
+            .map_many(&hop_ids, |h| h.users().collect())
+            .into_iter()
+            .map(Option::unwrap_or_default)
+            .collect();
+        let two_hop = |v: UserId| -> &[UserId] {
+            hop_ids
+                .binary_search(&v)
+                .map_or(&[][..], |idx| &two_hop_lists[idx])
+        };
+
+        // Per-user candidate id lists in the sequential insertion order,
+        // concatenated flat. The dedup scratch set is allocated once and
+        // reused across the whole batch.
+        let mut flat_ids: Vec<UserId> = Vec::with_capacity(users.len() * (2 * k + k * k));
+        let mut spans = Vec::with_capacity(users.len());
+        let mut scratch =
+            hyrec_core::FastHashSet::with_capacity_and_hasher(2 * k + k * k, Default::default());
+        for (i, &user) in users.iter().enumerate() {
+            let start = flat_ids.len();
+            scratch.clear();
+            let mut push = |candidate: UserId, flat_ids: &mut Vec<UserId>| {
+                if candidate != user && scratch.insert(candidate) {
+                    flat_ids.push(candidate);
+                }
+            };
+            for &v in &one_hop[i] {
+                push(v, &mut flat_ids);
+            }
+            for &v in &one_hop[i] {
+                for &w in two_hop(v) {
+                    push(w, &mut flat_ids);
+                }
+            }
+            for &w in &random_legs[i] {
+                push(w, &mut flat_ids);
+            }
+            spans.push(start..flat_ids.len());
+        }
+
+        // Cross-batch dedup, then one shard-grouped fetch of each distinct
+        // profile. Once the KNN tables converge, the users of a batch draw
+        // from heavily overlapping communities ("more and more as the KNN
+        // tables converge"), so the distinct-profile count is a small
+        // fraction of the flat id count — each distinct profile is fetched
+        // once and fanned out as `Arc` clones.
+        let mut index_of: hyrec_core::FastHashMap<UserId, u32> =
+            hyrec_core::FastHashMap::with_capacity_and_hasher(flat_ids.len(), Default::default());
+        let mut unique: Vec<UserId> = Vec::with_capacity(flat_ids.len());
+        let slot_of: Vec<u32> = flat_ids
+            .iter()
+            .map(|&id| {
+                *index_of.entry(id).or_insert_with(|| {
+                    unique.push(id);
+                    (unique.len() - 1) as u32
+                })
+            })
+            .collect();
+        let profiles = ctx.profiles.get_many(&unique);
+
+        spans
+            .into_iter()
+            .map(|span| {
+                // Ids were deduplicated during list assembly, so the set is
+                // constructed without re-hashing anything.
+                let members = flat_ids[span.clone()]
+                    .iter()
+                    .zip(&slot_of[span])
+                    .filter_map(|(&id, &slot)| {
+                        profiles[slot as usize].as_ref().map(|profile| {
+                            hyrec_core::CandidateProfile {
+                                user: id,
+                                profile: hyrec_core::SharedProfile::clone(profile),
+                            }
+                        })
+                    })
+                    .collect();
+                CandidateSet::from_deduped(members)
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -222,11 +393,10 @@ mod tests {
     }
 
     fn hood(users: &[u32]) -> Neighborhood {
-        Neighborhood::from_neighbors(
-            users
-                .iter()
-                .map(|&u| Neighbor { user: UserId(u), similarity: 0.5 }),
-        )
+        Neighborhood::from_neighbors(users.iter().map(|&u| Neighbor {
+            user: UserId(u),
+            similarity: 0.5,
+        }))
     }
 
     #[test]
@@ -235,7 +405,11 @@ mod tests {
         knn.update(UserId(0), hood(&[1, 2]));
         knn.update(UserId(1), hood(&[3, 4]));
         knn.update(UserId(2), hood(&[5]));
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let set = DefaultSampler.sample(UserId(0), 2, 2, &ctx, &mut rng);
 
@@ -252,10 +426,17 @@ mod tests {
         // Fully-populated tables: every user has k neighbours.
         let k = 5usize;
         for u in 0..50u32 {
-            let others: Vec<u32> = (0..50).filter(|&v| v != u).take(k as u32 as usize).collect();
+            let others: Vec<u32> = (0..50)
+                .filter(|&v| v != u)
+                .take(k as u32 as usize)
+                .collect();
             knn.update(UserId(u), hood(&others));
         }
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for u in 0..50u32 {
             let set = DefaultSampler.sample(UserId(u), k, k, &ctx, &mut rng);
@@ -271,7 +452,11 @@ mod tests {
     #[test]
     fn bootstrap_user_gets_random_candidates() {
         let (profiles, knn, directory) = context();
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         // No KNN entry for u0 yet: candidates come only from the random leg.
         let set = DefaultSampler.sample(UserId(0), 10, 10, &ctx, &mut rng);
@@ -284,7 +469,11 @@ mod tests {
         let profiles = ProfileTable::new();
         let knn = KnnTable::new();
         let directory = UserDirectory::new();
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let set = DefaultSampler.sample(UserId(0), 10, 10, &ctx, &mut rng);
         assert!(set.is_empty());
@@ -298,7 +487,11 @@ mod tests {
         // u1 is in u0's KNN but has no profile (e.g. purged).
         knn.update(UserId(0), hood(&[1]));
         directory.register(UserId(0));
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let set = DefaultSampler.sample(UserId(0), 2, 0, &ctx, &mut rng);
         assert!(set.is_empty());
@@ -314,7 +507,11 @@ mod tests {
     #[test]
     fn no_random_sampler_is_empty_without_knn() {
         let (profiles, knn, directory) = context();
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let set = NoRandomSampler.sample(UserId(0), 5, 5, &ctx, &mut rng);
         assert!(set.is_empty(), "no-random sampler cannot bootstrap");
@@ -323,7 +520,11 @@ mod tests {
     #[test]
     fn random_only_excludes_requester() {
         let (profiles, knn, directory) = context();
-        let ctx = SamplerContext { profiles: &profiles, knn: &knn, directory: &directory };
+        let ctx = SamplerContext {
+            profiles: &profiles,
+            knn: &knn,
+            directory: &directory,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
             let set = RandomOnlySampler.sample(UserId(3), 3, 3, &ctx, &mut rng);

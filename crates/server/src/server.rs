@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The HyRec server (Figure 1, bottom): orchestrates browser-side
 /// personalization while owning the global Profile and KNN tables.
@@ -94,7 +95,9 @@ impl HyRecServer {
     /// Shorthand for `HyRecConfig::builder()` + `HyRecServer::with_config`.
     #[must_use]
     pub fn builder() -> ServerBuilder {
-        ServerBuilder { config: HyRecConfig::builder(), }
+        ServerBuilder {
+            config: HyRecConfig::builder(),
+        }
     }
 
     /// The active configuration.
@@ -120,9 +123,9 @@ impl HyRecServer {
         self.directory.len()
     }
 
-    /// Clone of a user's profile, if any.
+    /// Shared handle to a user's profile, if any.
     #[must_use]
-    pub fn profile_of(&self, user: UserId) -> Option<Profile> {
+    pub fn profile_of(&self, user: UserId) -> Option<Arc<Profile>> {
         self.profiles.get(user)
     }
 
@@ -176,11 +179,11 @@ impl HyRecServer {
             )
         };
 
-        let mut profile = self.profiles.get(user).unwrap_or_default();
+        let profile = Self::capped(
+            self.profiles.get(user).unwrap_or_default(),
+            self.config.profile_cap,
+        );
         let candidates = self.finalize_candidates(candidates);
-        if let Some(cap) = self.config.profile_cap {
-            profile.truncate_liked(cap);
-        }
         PersonalizationJob {
             uid: user,
             k: self.config.k,
@@ -190,25 +193,107 @@ impl HyRecServer {
         }
     }
 
+    /// Applies the optional profile cap to a shared handle.
+    ///
+    /// Uncapped (the default) or already-small profiles pass through as the
+    /// same `Arc` — no copy. Only an over-cap profile is cloned, because
+    /// truncation must not mutate the table's stored profile.
+    fn capped(profile: Arc<Profile>, cap: Option<usize>) -> Arc<Profile> {
+        match cap {
+            Some(cap) if profile.liked_len() > cap => {
+                let mut owned = (*profile).clone();
+                owned.truncate_liked(cap);
+                Arc::new(owned)
+            }
+            _ => profile,
+        }
+    }
+
     /// Applies profile capping and pseudonymization to a raw candidate set.
     fn finalize_candidates(&self, raw: CandidateSet) -> CandidateSet {
-        let cap = self.config.profile_cap;
-        if !self.config.anonymize_users && cap.is_none() {
+        if !self.config.anonymize_users && self.config.profile_cap.is_none() {
             return raw;
         }
         let mut anonymizer = self.anonymizer.lock();
-        raw.into_vec()
+        self.finalize_with(raw, &mut anonymizer)
+    }
+
+    /// [`Self::finalize_candidates`] with the anonymizer lock already held —
+    /// the batch path locks once for all jobs.
+    fn finalize_with(&self, raw: CandidateSet, anonymizer: &mut AnonymousMapping) -> CandidateSet {
+        let cap = self.config.profile_cap;
+        // Pseudonymization is injective within an epoch and capping keeps
+        // user ids untouched, so the input's uniqueness survives and the
+        // output set needs no re-hashed dedup index.
+        let members = raw
+            .into_vec()
             .into_iter()
-            .map(|mut c| {
-                if let Some(cap) = cap {
-                    c.profile.truncate_liked(cap);
-                }
+            .map(|c| {
+                let profile = Self::capped(c.profile, cap);
                 let user = if self.config.anonymize_users {
                     anonymizer.pseudonymize(c.user)
                 } else {
                     c.user
                 };
-                (user, c.profile)
+                hyrec_core::CandidateProfile { user, profile }
+            })
+            .collect();
+        CandidateSet::from_deduped(members)
+    }
+
+    /// Builds personalization jobs for a whole batch of users.
+    ///
+    /// Semantically identical to `users.iter().map(|&u| self.build_job(u))`
+    /// — same candidate sets, same RNG stream, same pseudonyms — but the
+    /// table traffic is amortized: the sampler stages its reads through the
+    /// tables' `get_many` operations (one lock acquisition per touched
+    /// shard per stage instead of one per user per candidate), requester
+    /// profiles are fetched in one sweep, and the RNG and anonymizer locks
+    /// are taken once per batch instead of once per job. This is the entry
+    /// point for request coalescing front-ends and for the simulation
+    /// harnesses that drive thousands of users per tick.
+    #[must_use]
+    pub fn build_jobs(&self, users: &[UserId]) -> Vec<PersonalizationJob> {
+        self.requests_served
+            .fetch_add(users.len() as u64, Ordering::Relaxed);
+        let ctx = SamplerContext {
+            profiles: &self.profiles,
+            knn: &self.knn,
+            directory: &self.directory,
+        };
+        let candidate_sets = {
+            let mut rng = self.rng.lock();
+            self.sampler.sample_batch(
+                users,
+                self.config.k,
+                self.config.random_candidates,
+                &ctx,
+                &mut rng,
+            )
+        };
+
+        let profiles = self.profiles.get_many(users);
+        let finalized: Vec<CandidateSet> =
+            if self.config.anonymize_users || self.config.profile_cap.is_some() {
+                let mut anonymizer = self.anonymizer.lock();
+                candidate_sets
+                    .into_iter()
+                    .map(|set| self.finalize_with(set, &mut anonymizer))
+                    .collect()
+            } else {
+                candidate_sets
+            };
+
+        users
+            .iter()
+            .zip(profiles)
+            .zip(finalized)
+            .map(|((&user, profile), candidates)| PersonalizationJob {
+                uid: user,
+                k: self.config.k,
+                r: self.config.r,
+                profile: Self::capped(profile.unwrap_or_default(), self.config.profile_cap),
+                candidates,
             })
             .collect()
     }
@@ -232,6 +317,39 @@ impl HyRecServer {
             update.to_neighborhood()
         };
         self.knn.update(update.uid, hood);
+    }
+
+    /// Applies a batch of KNN updates.
+    ///
+    /// Semantically identical to `updates.iter().for_each(|u|
+    /// self.apply_update(u))`, but the anonymizer lock is taken once and the
+    /// KNN write-backs go through `KnnTable::update_many`, which takes each
+    /// touched shard's write lock once for the whole batch.
+    pub fn apply_updates(&self, updates: &[KnnUpdate]) {
+        self.updates_applied
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        let entries: Vec<(UserId, Neighborhood)> = if self.config.anonymize_users {
+            let anonymizer = self.anonymizer.lock();
+            updates
+                .iter()
+                .map(|update| {
+                    let hood =
+                        Neighborhood::from_neighbors(update.neighbors.iter().filter_map(|n| {
+                            anonymizer.resolve(n.user).map(|real| hyrec_core::Neighbor {
+                                user: real,
+                                similarity: n.similarity,
+                            })
+                        }));
+                    (update.uid, hood)
+                })
+                .collect()
+        } else {
+            updates
+                .iter()
+                .map(|update| (update.uid, update.to_neighborhood()))
+                .collect()
+        };
+        self.knn.update_many(entries);
     }
 
     /// Rotates the anonymization epoch ("periodically, the identifiers …
@@ -310,7 +428,12 @@ mod tests {
 
     fn populated_server(anonymize: bool) -> HyRecServer {
         let server = HyRecServer::with_config(
-            HyRecConfig::builder().k(3).r(5).anonymize_users(anonymize).seed(9).build(),
+            HyRecConfig::builder()
+                .k(3)
+                .r(5)
+                .anonymize_users(anonymize)
+                .seed(9)
+                .build(),
         );
         // Three taste groups of users.
         for u in 0..30u32 {
@@ -417,9 +540,8 @@ mod tests {
 
     #[test]
     fn profile_cap_bounds_job_sizes() {
-        let server = HyRecServer::with_config(
-            HyRecConfig::builder().k(2).profile_cap(3).seed(1).build(),
-        );
+        let server =
+            HyRecServer::with_config(HyRecConfig::builder().k(2).profile_cap(3).seed(1).build());
         for u in 0..5u32 {
             for i in 0..50u32 {
                 server.record(UserId(u), ItemId(i), Vote::Like);
@@ -442,6 +564,90 @@ mod tests {
         assert_eq!(server.requests_served(), 1);
         assert_eq!(server.updates_applied(), 1);
         assert_eq!(server.user_count(), 30);
+    }
+
+    #[test]
+    fn build_job_shares_table_profiles_without_copying() {
+        // The zero-copy contract: with no cap and no pseudonymization, every
+        // profile in a job IS the table's allocation (same Arc), not a copy.
+        let server = HyRecServer::with_config(
+            HyRecConfig::builder()
+                .k(3)
+                .anonymize_users(false)
+                .seed(4)
+                .build(),
+        );
+        for u in 0..20u32 {
+            for i in 0..10u32 {
+                server.record(UserId(u), ItemId(i % 7), Vote::Like);
+            }
+        }
+        let job = server.build_job(UserId(0));
+        assert!(!job.candidates.is_empty());
+        let table_own = server.profile_of(UserId(0)).unwrap();
+        assert!(
+            Arc::ptr_eq(&job.profile, &table_own),
+            "requester profile copied"
+        );
+        for c in job.candidates.iter() {
+            let stored = server.profile_of(c.user).expect("candidate has profile");
+            assert!(
+                Arc::ptr_eq(&c.profile, &stored),
+                "candidate {} copied",
+                c.user
+            );
+        }
+    }
+
+    #[test]
+    fn build_jobs_matches_sequential_build_job() {
+        // Two identically seeded servers: a batched request stream must
+        // produce byte-identical jobs to the sequential one.
+        let batch_server = populated_server(false);
+        let seq_server = populated_server(false);
+        let users: Vec<UserId> = (0..30u32).map(UserId).collect();
+
+        // Round 1 (cold tables), then warm both and compare again.
+        let widget = Widget::new();
+        for round in 0..3 {
+            let batch = batch_server.build_jobs(&users);
+            let sequential: Vec<_> = users.iter().map(|&u| seq_server.build_job(u)).collect();
+            assert_eq!(batch, sequential, "divergence at round {round}");
+
+            let updates: Vec<_> = batch.iter().map(|job| widget.run_job(job).update).collect();
+            batch_server.apply_updates(&updates);
+            for update in &updates {
+                seq_server.apply_update(update);
+            }
+        }
+        assert_eq!(
+            batch_server.average_view_similarity(),
+            seq_server.average_view_similarity()
+        );
+        assert_eq!(batch_server.requests_served(), seq_server.requests_served());
+        assert_eq!(batch_server.updates_applied(), seq_server.updates_applied());
+    }
+
+    #[test]
+    fn batched_pipeline_converges_with_anonymization() {
+        let server = populated_server(true);
+        let widget = Widget::new();
+        let users: Vec<UserId> = (0..30u32).map(UserId).collect();
+        for _ in 0..5 {
+            let jobs = server.build_jobs(&users);
+            let updates: Vec<_> = jobs.iter().map(|j| widget.run_job(j).update).collect();
+            server.apply_updates(&updates);
+        }
+        assert!(server.average_view_similarity() > 0.99);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let server = populated_server(false);
+        assert!(server.build_jobs(&[]).is_empty());
+        server.apply_updates(&[]);
+        assert_eq!(server.requests_served(), 0);
+        assert_eq!(server.updates_applied(), 0);
     }
 
     #[test]

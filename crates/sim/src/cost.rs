@@ -66,8 +66,9 @@ pub fn cost_reduction(
     let on_demand_yearly = runs_per_year * hours_per_run * pricing.backend_on_demand_hourly;
     // A back-end busy more than a year's worth of compute needs more than
     // one reserved instance.
-    let reserved_instances =
-        (runs_per_year * hours_per_run / (365.25 * 24.0)).ceil().max(1.0);
+    let reserved_instances = (runs_per_year * hours_per_run / (365.25 * 24.0))
+        .ceil()
+        .max(1.0);
     let reserved_yearly = reserved_instances * pricing.backend_reserved_yearly;
 
     let (backend_yearly, backend_reserved) = if on_demand_yearly <= reserved_yearly {
@@ -120,7 +121,10 @@ mod tests {
         let b = cost_reduction(&pricing, runtime, Duration::from_secs(24 * 3600));
         assert!(a.backend_reserved);
         assert!(b.backend_reserved);
-        assert!((a.savings - b.savings).abs() < 1e-9, "cap makes cost period-independent");
+        assert!(
+            (a.savings - b.savings).abs() < 1e-9,
+            "cap makes cost period-independent"
+        );
         assert!(
             (a.savings - 0.492).abs() < 0.01,
             "expected ~49.2%, got {:.3}",

@@ -33,12 +33,18 @@ pub struct Device {
 impl Device {
     /// The paper's Dell Latitude laptop — the reference machine (we report
     /// measured times directly for it).
-    pub const LAPTOP: Device = Device { name: "laptop", speed_factor: 1.0 };
+    pub const LAPTOP: Device = Device {
+        name: "laptop",
+        speed_factor: 1.0,
+    };
 
     /// The paper's Wiko Cink King smartphone: roughly 6–7× slower than the
     /// laptop on the widget workload (calibrated from Figures 12–13, e.g.
     /// ≈30 ms vs ≈5 ms at profile size 100).
-    pub const SMARTPHONE: Device = Device { name: "smartphone", speed_factor: 6.5 };
+    pub const SMARTPHONE: Device = Device {
+        name: "smartphone",
+        speed_factor: 6.5,
+    };
 }
 
 /// Fair-share CPU model: `n` compute-bound tasks on one core each progress
@@ -58,7 +64,9 @@ impl FairShareCpu {
     #[must_use]
     pub fn new(load: f64) -> Self {
         assert!((0.0..=1.0).contains(&load), "load must be in [0, 1]");
-        Self { background_load: load }
+        Self {
+            background_load: load,
+        }
     }
 
     /// CPU share a single compute-bound foreground task receives.
@@ -99,9 +107,7 @@ pub fn contended_time(kernel: Duration, device: Device, load: FairShareCpu) -> D
 #[must_use]
 pub fn synthetic_job(profile_size: usize, k: usize, candidates: usize) -> PersonalizationJob {
     let profile_of = |seed: u32| {
-        Profile::from_liked(
-            (0..profile_size as u32).map(|i| (seed * 131 + i * 7) % 60_000),
-        )
+        Profile::from_liked((0..profile_size as u32).map(|i| (seed * 131 + i * 7) % 60_000))
     };
     let mut set = CandidateSet::with_capacity(candidates);
     for c in 0..candidates as u32 {
@@ -111,7 +117,7 @@ pub fn synthetic_job(profile_size: usize, k: usize, candidates: usize) -> Person
         uid: UserId(0),
         k,
         r: 10,
-        profile: profile_of(0),
+        profile: profile_of(0).into(),
         candidates: set,
     }
 }

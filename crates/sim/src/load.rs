@@ -73,7 +73,11 @@ pub struct Population {
 #[must_use]
 pub fn build_population(n_users: usize, profile_size: usize, k: usize, seed: u64) -> Population {
     let server = Arc::new(HyRecServer::with_config(
-        HyRecConfig::builder().k(k).anonymize_users(false).seed(seed).build(),
+        HyRecConfig::builder()
+            .k(k)
+            .anonymize_users(false)
+            .seed(seed)
+            .build(),
     ));
     let mut rng = StdRng::seed_from_u64(seed);
     let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
@@ -93,12 +97,83 @@ pub fn build_population(n_users: usize, profile_size: usize, k: usize, seed: u64
                 picks.insert(v);
             }
         }
+        let hood = Neighborhood::from_neighbors(picks.into_iter().map(|v| Neighbor {
+            user: v,
+            similarity: 0.5,
+        }));
+        server.knn_table().update(user, hood);
+    }
+    Population {
+        server,
+        encoder: Arc::new(JobEncoder::new()),
+        users,
+    }
+}
+
+/// Builds a population whose KNN table already *converged*: users live in
+/// communities of `2k` members with correlated profiles, and each user's
+/// stored neighbours are `k` members of their own community — the
+/// steady-state table shape the HyRec loop produces (and the regime where
+/// the sampler's 1-hop/2-hop sets overlap heavily, exactly as the paper
+/// notes candidate sets shrink "more and more as the KNN tables converge").
+#[must_use]
+pub fn build_converged_population(
+    n_users: usize,
+    profile_size: usize,
+    k: usize,
+    seed: u64,
+) -> Population {
+    let server = Arc::new(HyRecServer::with_config(
+        HyRecConfig::builder()
+            .k(k)
+            .anonymize_users(false)
+            .seed(seed)
+            .build(),
+    ));
+    let users: Vec<UserId> = (0..n_users as u32).map(UserId).collect();
+    let community = (2 * k).max(2) as u32;
+    for &user in &users {
+        let base = (user.0 / community) * 1_000;
+        for i in 0..profile_size as u32 {
+            // Mostly community items plus a personal remainder.
+            let item = if i % 4 == 0 {
+                user.0.wrapping_mul(31).wrapping_add(i) % 60_000
+            } else {
+                base + i
+            };
+            server.record(user, ItemId(item), Vote::Like);
+        }
+    }
+    for &user in &users {
+        let community_start = (user.0 / community) * community;
         let hood = Neighborhood::from_neighbors(
-            picks.into_iter().map(|v| Neighbor { user: v, similarity: 0.5 }),
+            (1..=community as usize)
+                .filter_map(|offset| {
+                    let v =
+                        community_start + ((user.0 - community_start) + offset as u32) % community;
+                    (v != user.0 && (v as usize) < n_users).then_some(Neighbor {
+                        user: UserId(v),
+                        similarity: 0.8,
+                    })
+                })
+                .take(k),
         );
         server.knn_table().update(user, hood);
     }
-    Population { server, encoder: Arc::new(JobEncoder::new()), users }
+    Population {
+        server,
+        encoder: Arc::new(JobEncoder::new()),
+        users,
+    }
+}
+
+/// Warms the encoder's fragment cache to steady state over the first
+/// `users` users — one batched job build instead of a per-user loop.
+pub fn warm_cache(population: &Population, users: usize) {
+    let prefix = &population.users[..users.min(population.users.len())];
+    for job in population.server.build_jobs(prefix) {
+        let _ = population.encoder.encode(&job);
+    }
 }
 
 /// Figure 8, HyRec series: candidate sampling + cached encoding.
@@ -106,10 +181,7 @@ pub fn build_population(n_users: usize, profile_size: usize, k: usize, seed: u64
 pub fn measure_hyrec_response(population: &Population, requests: usize, seed: u64) -> LatencyStats {
     let mut rng = StdRng::seed_from_u64(seed);
     // Warm the fragment cache once (steady-state behaviour).
-    for &user in population.users.iter().take(64) {
-        let job = population.server.build_job(user);
-        let _ = population.encoder.encode(&job);
-    }
+    warm_cache(population, 64);
     let samples = (0..requests.max(1))
         .map(|_| {
             let user = population.users[rng.gen_range(0..population.users.len())];
@@ -118,6 +190,41 @@ pub fn measure_hyrec_response(population: &Population, requests: usize, seed: u6
             let bytes = population.encoder.encode(&job);
             let elapsed = start.elapsed();
             std::hint::black_box(bytes);
+            elapsed
+        })
+        .collect();
+    LatencyStats::from_samples(samples)
+}
+
+/// HyRec series with request coalescing: jobs are built through
+/// [`hyrec_server::HyRecServer::build_jobs`] in batches of `batch`,
+/// reporting the per-request latency. Compare against
+/// [`measure_hyrec_response`] to see what shard-lock amortization buys at a
+/// given batch size.
+#[must_use]
+pub fn measure_hyrec_batched_response(
+    population: &Population,
+    requests: usize,
+    batch: usize,
+    seed: u64,
+) -> LatencyStats {
+    let batch = batch.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    warm_cache(population, 64);
+    let samples = (0..requests.max(1).div_ceil(batch))
+        .map(|_| {
+            let start_idx = rng.gen_range(0..population.users.len());
+            let users: Vec<UserId> = (0..batch)
+                .map(|j| population.users[(start_idx + j) % population.users.len()])
+                .collect();
+            let start = Instant::now();
+            let jobs = population.server.build_jobs(&users);
+            let encoded: Vec<_> = jobs
+                .iter()
+                .map(|job| population.encoder.encode(job))
+                .collect();
+            let elapsed = start.elapsed() / batch as u32;
+            std::hint::black_box(encoded);
             elapsed
         })
         .collect();
@@ -160,8 +267,7 @@ pub fn measure_online_ideal_response(
         .map(|_| {
             let user = population.users[rng.gen_range(0..population.users.len())];
             let start = Instant::now();
-            let ideal =
-                OnlineIdeal::new(population.server.profiles(), hyrec_core::Cosine, 10);
+            let ideal = OnlineIdeal::new(population.server.profiles(), hyrec_core::Cosine, 10);
             let recs = ideal.recommend(user, 10);
             let body = recs_json(&recs);
             let elapsed = start.elapsed();
@@ -208,8 +314,7 @@ pub fn benchmark_router(population: &Population) -> Router {
         match req.query_param("uid").and_then(|v| v.parse::<u32>().ok()) {
             Some(uid) => {
                 let job = server.build_job(UserId(uid));
-                let recs =
-                    recommend::most_popular(&job.profile, job.candidates.profiles(), job.r);
+                let recs = recommend::most_popular(&job.profile, job.candidates.profiles(), job.r);
                 Response::ok_json_gzip(recs_json(&recs).as_bytes())
             }
             None => Response::bad_request("missing uid"),
@@ -281,10 +386,7 @@ mod tests {
         let population = build_population(50, 20, 5, 1);
         assert_eq!(population.users.len(), 50);
         for &user in &population.users {
-            assert_eq!(
-                population.server.profile_of(user).unwrap().liked_len(),
-                20
-            );
+            assert_eq!(population.server.profile_of(user).unwrap().liked_len(), 20);
             assert_eq!(population.server.knn_of(user).unwrap().len(), 5);
         }
     }
@@ -297,10 +399,7 @@ mod tests {
         // Interleaved sampling: ambient CI load hits both series equally.
         let mut rng = StdRng::seed_from_u64(3);
         // Warm the fragment cache first (steady-state behaviour).
-        for &user in population.users.iter().take(64) {
-            let job = population.server.build_job(user);
-            let _ = population.encoder.encode(&job);
-        }
+        warm_cache(&population, 64);
         let mut hyrec_samples = Vec::new();
         let mut crec_samples = Vec::new();
         for _ in 0..40 {
@@ -336,10 +435,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // Warm the fragment cache to steady state (profiles are static in
         // this population, so production behaviour is all cache hits).
-        for &user in population.users.iter().take(128) {
-            let job = population.server.build_job(user);
-            let _ = population.encoder.encode(&job);
-        }
+        warm_cache(&population, 128);
         let ideal = OnlineIdeal::new(population.server.profiles(), hyrec_core::Cosine, 10);
         let mut hyrec_samples = Vec::new();
         let mut ideal_samples = Vec::new();
@@ -368,10 +464,16 @@ mod tests {
     }
 
     #[test]
+    fn batched_measurement_runs_and_counts() {
+        let population = build_population(100, 20, 5, 8);
+        let stats = measure_hyrec_batched_response(&population, 64, 16, 9);
+        assert_eq!(stats.samples, 4);
+        assert!(stats.mean > Duration::ZERO);
+    }
+
+    #[test]
     fn latency_stats_percentiles() {
-        let stats = LatencyStats::from_samples(
-            (1..=100).map(Duration::from_millis).collect(),
-        );
+        let stats = LatencyStats::from_samples((1..=100).map(Duration::from_millis).collect());
         assert_eq!(stats.samples, 100);
         assert_eq!(stats.p50, Duration::from_millis(51));
         assert!(stats.p95 >= Duration::from_millis(95));

@@ -8,7 +8,7 @@
 //! is what makes the offline staircase of Figure 3 drift between
 //! recomputations.
 
-use hyrec_core::{Cosine, Neighborhood, Profile, Similarity, UserId};
+use hyrec_core::{Cosine, Neighborhood, SharedProfile, Similarity, UserId};
 use hyrec_server::offline::{ExhaustiveBackend, OfflineBackend};
 use std::collections::HashMap;
 
@@ -52,11 +52,13 @@ impl KnnSnapshot {
     /// state) and returns the mean view similarity over users present in
     /// both the snapshot and the profile map.
     #[must_use]
-    pub fn view_similarity_against(&self, profiles: &HashMap<UserId, Profile>) -> f64 {
+    pub fn view_similarity_against(&self, profiles: &HashMap<UserId, SharedProfile>) -> f64 {
         let mut total = 0.0;
         let mut count = 0usize;
         for (user, neighbors) in &self.table {
-            let Some(profile) = profiles.get(user) else { continue };
+            let Some(profile) = profiles.get(user) else {
+                continue;
+            };
             if neighbors.is_empty() {
                 count += 1;
                 continue;
@@ -85,11 +87,13 @@ impl KnnSnapshot {
     #[must_use]
     pub fn per_user_view_similarity(
         &self,
-        profiles: &HashMap<UserId, Profile>,
+        profiles: &HashMap<UserId, SharedProfile>,
     ) -> HashMap<UserId, f64> {
         let mut out = HashMap::with_capacity(self.table.len());
         for (user, neighbors) in &self.table {
-            let Some(profile) = profiles.get(user) else { continue };
+            let Some(profile) = profiles.get(user) else {
+                continue;
+            };
             if neighbors.is_empty() {
                 out.insert(*user, 0.0);
                 continue;
@@ -110,9 +114,13 @@ impl KnnSnapshot {
 
 /// Computes the ideal (global-knowledge) KNN table for the given profiles.
 #[must_use]
-pub fn ideal_knn(profiles: &HashMap<UserId, Profile>, k: usize) -> KnnSnapshot {
-    let flat: Vec<(UserId, Profile)> =
-        profiles.iter().map(|(u, p)| (*u, p.clone())).collect();
+pub fn ideal_knn(profiles: &HashMap<UserId, SharedProfile>, k: usize) -> KnnSnapshot {
+    // Arc bumps, not deep copies: the exhaustive scan borrows the same
+    // allocations the caller holds.
+    let flat: Vec<(UserId, SharedProfile)> = profiles
+        .iter()
+        .map(|(u, p)| (*u, SharedProfile::clone(p)))
+        .collect();
     let table = ExhaustiveBackend::default().compute(&flat, k);
     KnnSnapshot::from_table(&table)
 }
@@ -120,7 +128,7 @@ pub fn ideal_knn(profiles: &HashMap<UserId, Profile>, k: usize) -> KnnSnapshot {
 /// Mean ideal view similarity: the upper bound the paper's Figures 3–4
 /// normalize against.
 #[must_use]
-pub fn ideal_view_similarity(profiles: &HashMap<UserId, Profile>, k: usize) -> f64 {
+pub fn ideal_view_similarity(profiles: &HashMap<UserId, SharedProfile>, k: usize) -> f64 {
     ideal_knn(profiles, k).view_similarity_against(profiles)
 }
 
@@ -128,7 +136,7 @@ pub fn ideal_view_similarity(profiles: &HashMap<UserId, Profile>, k: usize) -> f
 /// against current profiles.
 #[must_use]
 pub fn server_view_similarity(server: &hyrec_server::HyRecServer) -> f64 {
-    let profiles: HashMap<UserId, Profile> =
+    let profiles: HashMap<UserId, SharedProfile> =
         server.profiles().snapshot().into_iter().collect();
     let table = server.knn_table().snapshot();
     KnnSnapshot::from_table(&table).view_similarity_against(&profiles)
@@ -138,15 +146,18 @@ pub fn server_view_similarity(server: &hyrec_server::HyRecServer) -> f64 {
 mod tests {
     use super::*;
     use hyrec_core::Neighbor;
+    use hyrec_core::Profile;
 
-    fn profile_map() -> HashMap<UserId, Profile> {
+    fn profile_map() -> HashMap<UserId, SharedProfile> {
         // Two clusters of three users.
         (0..6u32)
             .map(|u| {
                 let base = (u % 2) * 100;
                 (
                     UserId(u),
-                    Profile::from_liked((0..5u32).map(|i| base + i).collect::<Vec<_>>()),
+                    SharedProfile::new(Profile::from_liked(
+                        (0..5u32).map(|i| base + i).collect::<Vec<_>>(),
+                    )),
                 )
             })
             .collect()
@@ -166,13 +177,19 @@ mod tests {
         let mut profiles = profile_map();
         let table = vec![(
             UserId(0),
-            Neighborhood::from_neighbors([Neighbor { user: UserId(2), similarity: 1.0 }]),
+            Neighborhood::from_neighbors([Neighbor {
+                user: UserId(2),
+                similarity: 1.0,
+            }]),
         )];
         let snapshot = KnnSnapshot::from_table(&table);
         assert!((snapshot.view_similarity_against(&profiles) - 1.0).abs() < 1e-9);
 
         // u2's profile drifts away; the stored similarity 1.0 is ignored.
-        profiles.insert(UserId(2), Profile::from_liked([900u32, 901]));
+        profiles.insert(
+            UserId(2),
+            SharedProfile::new(Profile::from_liked([900u32, 901])),
+        );
         assert_eq!(snapshot.view_similarity_against(&profiles), 0.0);
     }
 
@@ -190,7 +207,10 @@ mod tests {
         let profiles = profile_map();
         let table = vec![(
             UserId(99), // no profile
-            Neighborhood::from_neighbors([Neighbor { user: UserId(0), similarity: 1.0 }]),
+            Neighborhood::from_neighbors([Neighbor {
+                user: UserId(0),
+                similarity: 1.0,
+            }]),
         )];
         let snapshot = KnnSnapshot::from_table(&table);
         assert_eq!(snapshot.view_similarity_against(&profiles), 0.0);

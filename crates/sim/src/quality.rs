@@ -13,11 +13,11 @@
 //! would in production.
 
 use hyrec_client::Widget;
+use hyrec_core::{KnnTable, ProfileTable};
 use hyrec_core::{Profile, UserId, Vote};
 use hyrec_datasets::Trace;
 use hyrec_server::offline::{ExhaustiveBackend, OfflineBackend};
 use hyrec_server::{CRecFrontEnd, HyRecConfig, HyRecServer, OnlineIdeal};
-use hyrec_core::{KnnTable, ProfileTable};
 use std::collections::HashMap;
 
 /// Hit counts per list length: `hits[n-1]` = number of positive test
@@ -32,7 +32,10 @@ pub struct QualityCurve {
 
 impl QualityCurve {
     fn new(max_n: usize) -> Self {
-        Self { hits: vec![0; max_n], positives: 0 }
+        Self {
+            hits: vec![0; max_n],
+            positives: 0,
+        }
     }
 
     fn credit(&mut self, rank: Option<usize>) {
@@ -61,10 +64,14 @@ fn rank_of(recs: &[hyrec_core::Recommendation], item: hyrec_core::ItemId) -> Opt
 /// Figure 6, HyRec series: full loop through training, then request-check-
 /// record through the test set.
 #[must_use]
-pub fn quality_hyrec(train: &Trace, test: &Trace, k: usize, max_n: usize, seed: u64) -> QualityCurve {
-    let server = HyRecServer::with_config(
-        HyRecConfig::builder().k(k).r(max_n).seed(seed).build(),
-    );
+pub fn quality_hyrec(
+    train: &Trace,
+    test: &Trace,
+    k: usize,
+    max_n: usize,
+    seed: u64,
+) -> QualityCurve {
+    let server = HyRecServer::with_config(HyRecConfig::builder().k(k).r(max_n).seed(seed).build());
     let widget = Widget::new();
     let run = |user: UserId| {
         let job = server.build_job(user);
@@ -164,7 +171,10 @@ pub fn quality_global_popularity(train: &Trace, test: &Trace, max_n: usize) -> Q
         if event.vote == Vote::Like {
             *popularity.entry(event.item).or_insert(0) += 1;
         }
-        profiles.entry(event.user).or_default().record(event.item, event.vote);
+        profiles
+            .entry(event.user)
+            .or_default()
+            .record(event.item, event.vote);
     }
 
     let mut curve = QualityCurve::new(max_n);
@@ -185,7 +195,10 @@ pub fn quality_global_popularity(train: &Trace, test: &Trace, max_n: usize) -> Q
         if event.vote == Vote::Like {
             *popularity.entry(event.item).or_insert(0) += 1;
         }
-        profiles.entry(event.user).or_default().record(event.item, event.vote);
+        profiles
+            .entry(event.user)
+            .or_default()
+            .record(event.item, event.vote);
     }
     curve
 }

@@ -18,7 +18,11 @@ fn table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
-                crc = if crc & 1 == 1 { POLY ^ (crc >> 1) } else { crc >> 1 };
+                crc = if crc & 1 == 1 {
+                    POLY ^ (crc >> 1)
+                } else {
+                    crc >> 1
+                };
             }
             *entry = crc;
         }
@@ -204,7 +208,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -246,7 +253,11 @@ mod tests {
     #[test]
     fn shift_op_chains_many_fragments() {
         let fragments: Vec<Vec<u8>> = (0..20u8)
-            .map(|i| (0..=i).map(|j| j.wrapping_mul(37).wrapping_add(i)).collect())
+            .map(|i| {
+                (0..=i)
+                    .map(|j| j.wrapping_mul(37).wrapping_add(i))
+                    .collect()
+            })
             .collect();
         let mut crc = crc32(b"");
         let mut raw = Vec::new();

@@ -86,7 +86,12 @@ impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     #[must_use]
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0, bit_buf: 0, bit_count: 0 }
+        Self {
+            bytes,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -104,7 +109,11 @@ impl<'a> BitReader<'a> {
         if self.bit_count < count {
             return None;
         }
-        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
         let value = (self.bit_buf as u32) & mask;
         self.bit_buf >>= count;
         self.bit_count -= count;
@@ -116,7 +125,11 @@ impl<'a> BitReader<'a> {
     pub fn peek_bits(&mut self, count: u32) -> u32 {
         debug_assert!(count <= 32);
         self.refill();
-        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
         (self.bit_buf as u32) & mask
     }
 

@@ -28,10 +28,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, WireError> {
         match btype {
             0b00 => inflate_stored(&mut reader, &mut out)?,
             0b01 => {
-                let lit = Decoder::from_lengths(&fixed_literal_lengths())
-                    .expect("fixed table is valid");
-                let dist = Decoder::from_lengths(&fixed_distance_lengths())
-                    .expect("fixed table is valid");
+                let lit =
+                    Decoder::from_lengths(&fixed_literal_lengths()).expect("fixed table is valid");
+                let dist =
+                    Decoder::from_lengths(&fixed_distance_lengths()).expect("fixed table is valid");
                 inflate_block(&mut reader, &mut out, &lit, Some(&dist))?;
             }
             0b10 => {
@@ -82,7 +82,9 @@ fn read_dynamic_tables(
     let hdist = reader.read_bits(5).ok_or_else(trunc)? as usize + 1;
     let hclen = reader.read_bits(4).ok_or_else(trunc)? as usize + 4;
     if hlit > 286 || hdist > 30 {
-        return Err(WireError::Deflate("dynamic header counts out of range".into()));
+        return Err(WireError::Deflate(
+            "dynamic header counts out of range".into(),
+        ));
     }
 
     let mut clc_lengths = vec![0u8; 19];
@@ -109,21 +111,19 @@ fn read_dynamic_tables(
             }
             17 => {
                 let count = 3 + reader.read_bits(3).ok_or_else(trunc)?;
-                for _ in 0..count {
-                    lengths.push(0);
-                }
+                lengths.extend(std::iter::repeat_n(0, count as usize));
             }
             18 => {
                 let count = 11 + reader.read_bits(7).ok_or_else(trunc)?;
-                for _ in 0..count {
-                    lengths.push(0);
-                }
+                lengths.extend(std::iter::repeat_n(0, count as usize));
             }
             _ => return Err(WireError::Deflate("invalid code-length symbol".into())),
         }
     }
     if lengths.len() != total {
-        return Err(WireError::Deflate("code-length run overflows header".into()));
+        return Err(WireError::Deflate(
+            "code-length run overflows header".into(),
+        ));
     }
 
     let (lit_lengths, dist_lengths) = lengths.split_at(hlit);

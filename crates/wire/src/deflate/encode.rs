@@ -81,10 +81,22 @@ fn write_blocks(writer: &mut BitWriter, data: &[u8], effort: Effort, final_strea
     let fixed_dist_lengths = fixed_distance_lengths();
 
     // Costs in bits.
-    let fixed_cost = body_cost(&tokens, &fixed_lit_lengths, &fixed_dist_lengths, &lit_freqs, &dist_freqs);
+    let fixed_cost = body_cost(
+        &tokens,
+        &fixed_lit_lengths,
+        &fixed_dist_lengths,
+        &lit_freqs,
+        &dist_freqs,
+    );
     let (header, dyn_header_cost) = dynamic_header(&dyn_lit_lengths, &dyn_dist_lengths);
     let dyn_cost = dyn_header_cost
-        + body_cost(&tokens, &dyn_lit_lengths, &dyn_dist_lengths, &lit_freqs, &dist_freqs);
+        + body_cost(
+            &tokens,
+            &dyn_lit_lengths,
+            &dyn_dist_lengths,
+            &lit_freqs,
+            &dist_freqs,
+        );
     let stored_cost = stored_cost_bits(data.len());
 
     let bfinal = u32::from(final_stream);
@@ -267,7 +279,14 @@ fn dynamic_header(lit_lengths: &[u8], dist_lengths: &[u8]) -> (DynamicHeader, u6
     }
 
     (
-        DynamicHeader { hlit, hdist, hclen, clc_lengths, clc_codes, rle },
+        DynamicHeader {
+            hlit,
+            hdist,
+            hclen,
+            clc_lengths,
+            clc_codes,
+            rle,
+        },
         cost,
     )
 }
@@ -316,7 +335,9 @@ mod tests {
         let mut state = 0x9E3779B9u64;
         let data: Vec<u8> = (0..100_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();

@@ -54,18 +54,27 @@ pub fn build_code_lengths(freqs: &[u64], max_bits: usize) -> Vec<u8> {
 
     let mut nodes: Vec<Node> = used
         .iter()
-        .map(|&s| Node { freq: freqs[s], kind: NodeKind::Leaf(s) })
+        .map(|&s| Node {
+            freq: freqs[s],
+            kind: NodeKind::Leaf(s),
+        })
         .collect();
 
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<(Reverse<u64>, usize)> =
-        nodes.iter().enumerate().map(|(i, node)| (Reverse(node.freq), i)).collect();
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| (Reverse(node.freq), i))
+        .collect();
 
     while heap.len() > 1 {
         let (Reverse(fa), a) = heap.pop().expect("heap len checked");
         let (Reverse(fb), b) = heap.pop().expect("heap len checked");
-        let merged = Node { freq: fa + fb, kind: NodeKind::Internal(a, b) };
+        let merged = Node {
+            freq: fa + fb,
+            kind: NodeKind::Internal(a, b),
+        };
         nodes.push(merged);
         heap.push((Reverse(fa + fb), nodes.len() - 1));
     }
@@ -233,7 +242,10 @@ impl Decoder {
                 index += step;
             }
         }
-        Ok(Self { entries, table_bits: max })
+        Ok(Self {
+            entries,
+            table_bits: max,
+        })
     }
 
     /// Decodes one symbol from the reader.

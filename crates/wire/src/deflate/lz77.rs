@@ -44,15 +44,27 @@ pub struct Effort {
 
 impl Effort {
     /// Balanced default (zlib level ~6).
-    pub const DEFAULT: Effort =
-        Effort { max_chain: 128, good_enough: 64, lazy: true, dense_insert: true };
+    pub const DEFAULT: Effort = Effort {
+        max_chain: 128,
+        good_enough: 64,
+        lazy: true,
+        dense_insert: true,
+    };
     /// Fast, lighter compression (zlib level ~1): shallow chains, greedy,
     /// sparse insertion — for compressing responses on the fly.
-    pub const FAST: Effort =
-        Effort { max_chain: 8, good_enough: 32, lazy: false, dense_insert: false };
+    pub const FAST: Effort = Effort {
+        max_chain: 8,
+        good_enough: 32,
+        lazy: false,
+        dense_insert: false,
+    };
     /// Thorough (zlib level ~9).
-    pub const BEST: Effort =
-        Effort { max_chain: 1024, good_enough: 258, lazy: true, dense_insert: true };
+    pub const BEST: Effort = Effort {
+        max_chain: 1024,
+        good_enough: 258,
+        lazy: true,
+        dense_insert: true,
+    };
 }
 
 impl Default for Effort {
@@ -66,9 +78,8 @@ const HASH_SIZE: usize = 1 << HASH_BITS;
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let h = (u32::from(data[pos]) << 16)
-        ^ (u32::from(data[pos + 1]) << 8)
-        ^ u32::from(data[pos + 2]);
+    let h =
+        (u32::from(data[pos]) << 16) ^ (u32::from(data[pos + 1]) << 8) ^ u32::from(data[pos + 2]);
     ((h.wrapping_mul(2_654_435_761)) >> (32 - HASH_BITS)) as usize & (HASH_SIZE - 1)
 }
 
@@ -100,7 +111,11 @@ struct Matcher {
 
 impl Matcher {
     fn new(effort: Effort) -> Self {
-        Self { head: vec![0u32; HASH_SIZE], prev: vec![0u32; WINDOW_SIZE], effort }
+        Self {
+            head: vec![0u32; HASH_SIZE],
+            prev: vec![0u32; WINDOW_SIZE],
+            effort,
+        }
     }
 
     #[inline]
@@ -197,7 +212,10 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
                 if len > MAX_MATCH {
                     len = MAX_MATCH;
                 }
-                tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
                 if effort.dense_insert {
                     for p in pos + 1..pos + len {
                         matcher.insert(data, p);
@@ -249,8 +267,10 @@ mod tests {
         let data = b"abcabcabcabcabcabc";
         for effort in [Effort::FAST, Effort::DEFAULT, Effort::BEST] {
             let tokens = tokenize(data, effort);
-            let matches =
-                tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
+            let matches = tokens
+                .iter()
+                .filter(|t| matches!(t, Token::Match { .. }))
+                .count();
             assert!(matches >= 1);
             assert_eq!(expand(&tokens), data.to_vec());
         }

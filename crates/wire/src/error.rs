@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn display_includes_offset() {
-        let e = WireError::Json { offset: 12, message: "unexpected `}`".into() };
+        let e = WireError::Json {
+            offset: 12,
+            message: "unexpected `}`".into(),
+        };
         assert!(e.to_string().contains("byte 12"));
     }
 

@@ -42,7 +42,9 @@ pub fn compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
 /// mismatches, and [`WireError::Deflate`] if the payload is malformed.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, WireError> {
     if data.len() < 18 {
-        return Err(WireError::Gzip("frame shorter than header + trailer".into()));
+        return Err(WireError::Gzip(
+            "frame shorter than header + trailer".into(),
+        ));
     }
     if data[0] != 0x1F || data[1] != 0x8B {
         return Err(WireError::Gzip("bad magic bytes".into()));
@@ -100,7 +102,10 @@ mod tests {
         // Standard test vectors.
         assert_eq!(crc32(b""), 0x0000_0000);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ const MAX_DEPTH: usize = 256;
 ///
 /// Returns [`WireError::Json`] with the byte offset of the failure.
 pub fn parse(text: &str) -> Result<JsonValue, WireError> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.value(0)?;
     parser.skip_ws();
@@ -34,7 +37,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> WireError {
-        WireError::Json { offset: self.pos, message: message.into() }
+        WireError::Json {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -199,7 +205,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, WireError> {
         let mut value = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
@@ -246,8 +254,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| self.err("number out of range"))
@@ -290,8 +298,23 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "{", "[", "tru", "01", "1.", "1e", "\"", "\"\\q\"", "{\"a\"}",
-            "[1,]", "{\"a\":1,}", "1 2", "\"\\ud800\"", "nul", "+1", ".5",
+            "",
+            "{",
+            "[",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"",
+            "\"\\q\"",
+            "{\"a\"}",
+            "[1,]",
+            "{\"a\":1,}",
+            "1 2",
+            "\"\\ud800\"",
+            "nul",
+            "+1",
+            ".5",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -323,8 +346,7 @@ mod tests {
                 any::<bool>().prop_map(JsonValue::Bool),
                 (-1e9f64..1e9).prop_map(JsonValue::Number),
                 any::<i32>().prop_map(|n| JsonValue::Number(f64::from(n))),
-                "[a-zA-Z0-9 _\\-\"\\\\\n\t\u{00e9}\u{4e16}]{0,20}"
-                    .prop_map(JsonValue::String),
+                "[a-zA-Z0-9 _\\-\"\\\\\n\t\u{00e9}\u{4e16}]{0,20}".prop_map(JsonValue::String),
             ];
             if depth == 0 {
                 leaf.boxed()
@@ -336,7 +358,7 @@ mod tests {
                     1 => proptest::collection::vec(
                         ("[a-z]{1,8}", arb_json(depth - 1)),
                         0..5
-                    ).prop_map(|entries| object(entries)),
+                    ).prop_map(object),
                 ]
                 .boxed()
             }

@@ -58,9 +58,7 @@ impl JsonValue {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(entries) => {
-                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -107,9 +105,7 @@ impl JsonValue {
     #[must_use]
     pub fn as_i64(&self) -> Option<i64> {
         match self {
-            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
-                Some(*n as i64)
-            }
+            JsonValue::Number(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
             _ => None,
         }
     }
@@ -235,8 +231,8 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let v = JsonValue::parse(r#"{"n": 3, "s": "hi", "b": true, "z": null, "a": [1.5]}"#)
-            .unwrap();
+        let v =
+            JsonValue::parse(r#"{"n": 3, "s": "hi", "b": true, "z": null, "a": [1.5]}"#).unwrap();
         assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
         assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
@@ -266,10 +262,7 @@ mod tests {
 
     #[test]
     fn object_preserves_order() {
-        let o = object([
-            ("z", JsonValue::from(1u32)),
-            ("a", JsonValue::from(2u32)),
-        ]);
+        let o = object([("z", JsonValue::from(1u32)), ("a", JsonValue::from(2u32))]);
         assert_eq!(o.to_string(), r#"{"z":1,"a":2}"#);
     }
 }

@@ -17,8 +17,13 @@ use crate::error::WireError;
 use crate::gzip;
 use crate::json::{object, JsonValue};
 use hyrec_core::{CandidateSet, ItemId, Neighbor, Neighborhood, Profile, UserId};
+use std::sync::Arc;
 
 /// The personalization job the orchestrator ships to a widget (Section 3.1).
+///
+/// Profiles are shared handles (`Arc`): job assembly on the server borrows
+/// the global profile table's allocations rather than copying item vectors,
+/// and serialization reads through the same borrows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PersonalizationJob {
     /// Pseudonymous id of the requesting user.
@@ -28,7 +33,7 @@ pub struct PersonalizationJob {
     /// Number of items to recommend (system parameter `r`).
     pub r: usize,
     /// The requesting user's own profile `P_u`.
-    pub profile: Profile,
+    pub profile: Arc<Profile>,
     /// The candidate set `S_u` with full candidate profiles.
     pub candidates: CandidateSet,
 }
@@ -40,7 +45,10 @@ impl PersonalizationJob {
         let profile_json = |p: &Profile| -> JsonValue {
             object([
                 ("liked", p.liked().map(|i| i.raw()).collect::<JsonValue>()),
-                ("disliked", p.disliked().map(|i| i.raw()).collect::<JsonValue>()),
+                (
+                    "disliked",
+                    p.disliked().map(|i| i.raw()).collect::<JsonValue>(),
+                ),
             ])
         };
         object([
@@ -97,7 +105,13 @@ impl PersonalizationJob {
             )?;
             candidates.insert(UserId(cuid), cprofile);
         }
-        Ok(Self { uid: UserId(uid), k, r, profile, candidates })
+        Ok(Self {
+            uid: UserId(uid),
+            k,
+            r,
+            profile: Arc::new(profile),
+            candidates,
+        })
     }
 
     /// Serialized size in bytes, raw JSON (the `json` series of Figure 10).
@@ -125,8 +139,8 @@ impl PersonalizationJob {
     /// Propagates gzip, JSON and schema errors.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let raw = gzip::decompress(bytes)?;
-        let text = String::from_utf8(raw)
-            .map_err(|_| WireError::Schema("message is not utf-8".into()))?;
+        let text =
+            String::from_utf8(raw).map_err(|_| WireError::Schema("message is not utf-8".into()))?;
         Self::from_json(&JsonValue::parse(&text)?)
     }
 }
@@ -144,7 +158,10 @@ impl KnnUpdate {
     /// Builds an update from a neighbourhood.
     #[must_use]
     pub fn from_neighborhood(uid: UserId, hood: &Neighborhood) -> Self {
-        Self { uid, neighbors: hood.iter().copied().collect() }
+        Self {
+            uid,
+            neighbors: hood.iter().copied().collect(),
+        }
     }
 
     /// Converts back into a [`Neighborhood`].
@@ -191,9 +208,15 @@ impl KnnUpdate {
                 .get("sim")
                 .and_then(JsonValue::as_f64)
                 .ok_or_else(|| WireError::Schema("neighbor missing `sim`".into()))?;
-            neighbors.push(Neighbor { user: UserId(nuid), similarity: sim });
+            neighbors.push(Neighbor {
+                user: UserId(nuid),
+                similarity: sim,
+            });
         }
-        Ok(Self { uid: UserId(uid), neighbors })
+        Ok(Self {
+            uid: UserId(uid),
+            neighbors,
+        })
     }
 
     /// Serialized size in bytes, raw JSON.
@@ -215,8 +238,8 @@ impl KnnUpdate {
     /// Propagates gzip, JSON and schema errors.
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let raw = gzip::decompress(bytes)?;
-        let text = String::from_utf8(raw)
-            .map_err(|_| WireError::Schema("message is not utf-8".into()))?;
+        let text =
+            String::from_utf8(raw).map_err(|_| WireError::Schema("message is not utf-8".into()))?;
         Self::from_json(&JsonValue::parse(&text)?)
     }
 }
@@ -265,7 +288,7 @@ mod tests {
             uid: UserId(1),
             k: 10,
             r: 5,
-            profile: Profile::from_liked([1u32, 9]),
+            profile: Profile::from_liked([1u32, 9]).into(),
             candidates,
         }
     }
@@ -290,15 +313,14 @@ mod tests {
         // Representative job: 120 candidates × 100-item profiles.
         let mut candidates = CandidateSet::new();
         for u in 0..120u32 {
-            let profile =
-                Profile::from_liked((0..100u32).map(|i| (u * 31 + i * 17) % 10_000));
+            let profile = Profile::from_liked((0..100u32).map(|i| (u * 31 + i * 17) % 10_000));
             candidates.insert(UserId(u), profile);
         }
         let job = PersonalizationJob {
             uid: UserId(1),
             k: 10,
             r: 10,
-            profile: Profile::from_liked(0u32..100),
+            profile: Profile::from_liked(0u32..100).into(),
             candidates,
         };
         let raw = job.json_bytes();
@@ -311,8 +333,14 @@ mod tests {
         let update = KnnUpdate {
             uid: UserId(3),
             neighbors: vec![
-                Neighbor { user: UserId(8), similarity: 0.75 },
-                Neighbor { user: UserId(9), similarity: 0.5 },
+                Neighbor {
+                    user: UserId(8),
+                    similarity: 0.75,
+                },
+                Neighbor {
+                    user: UserId(9),
+                    similarity: 0.5,
+                },
             ],
         };
         let back = KnnUpdate::decode(&update.encode()).unwrap();
@@ -324,7 +352,10 @@ mod tests {
     fn update_similarity_is_quantized() {
         let update = KnnUpdate {
             uid: UserId(1),
-            neighbors: vec![Neighbor { user: UserId(2), similarity: 1.0 / 3.0 }],
+            neighbors: vec![Neighbor {
+                user: UserId(2),
+                similarity: 1.0 / 3.0,
+            }],
         };
         let back = KnnUpdate::from_json(&update.to_json()).unwrap();
         assert!((back.neighbors[0].similarity - 0.333_333).abs() < 1e-9);
@@ -379,7 +410,7 @@ mod tests {
                     .into_iter()
                     .map(|(u, p)| (UserId(u), p))
                     .collect();
-                let job = PersonalizationJob { uid: UserId(uid), k, r, profile, candidates };
+                let job = PersonalizationJob { uid: UserId(uid), k, r, profile: profile.into(), candidates };
                 let back = PersonalizationJob::decode(&job.encode()).unwrap();
                 prop_assert_eq!(back, job);
             }

@@ -67,7 +67,11 @@ fn main() {
     let job = PersonalizationJob::decode(&response.body).expect("job");
     let mut query = String::from("/neighbors/?uid=0");
     for (i, candidate) in job.candidates.iter().take(3).enumerate() {
-        query.push_str(&format!("&id{i}={}&sim{i}=0.{}", candidate.user.raw(), 9 - i));
+        query.push_str(&format!(
+            "&id{i}={}&sim{i}=0.{}",
+            candidate.user.raw(),
+            9 - i
+        ));
     }
     let response = client.get(&query).expect("get form");
     assert_eq!(response.status, 200);

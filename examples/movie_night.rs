@@ -18,7 +18,10 @@ fn main() {
     println!("== generating workload: {spec}");
     let trace = TraceGenerator::new(spec, 42).generate().binarize();
 
-    println!("== replaying {} rating events through HyRec (k=10)", trace.len());
+    println!(
+        "== replaying {} rating events through HyRec (k=10)",
+        trace.len()
+    );
     let result = replay_hyrec(
         &trace,
         &ReplayConfig {

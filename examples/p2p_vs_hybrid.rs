@@ -18,7 +18,9 @@ fn main() {
         .map(|u| {
             let community = u % 6;
             let profile = Profile::from_liked(
-                (0..10u32).map(|i| community * 100 + (u / 6 + i) % 14).collect::<Vec<_>>(),
+                (0..10u32)
+                    .map(|i| community * 100 + (u / 6 + i) % 14)
+                    .collect::<Vec<_>>(),
             );
             (UserId(u), profile)
         })
@@ -28,7 +30,10 @@ fn main() {
     println!("== decentralized (P2P) recommender");
     let mut network = GossipNetwork::new(
         profiles.clone(),
-        GossipConfig { k: 8, ..GossipConfig::default() },
+        GossipConfig {
+            k: 8,
+            ..GossipConfig::default()
+        },
     );
     for cycle in [5usize, 10, 20] {
         network.run(if cycle == 5 { 5 } else { cycle / 2 });

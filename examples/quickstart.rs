@@ -54,7 +54,10 @@ fn main() {
     let output = widget.run_job(&job);
     println!("== recommendations for u0 (likes items 0-7 of group 0):");
     for rec in &output.recommendations {
-        println!("   item {} (liked by {} candidates)", rec.item, rec.popularity);
+        println!(
+            "   item {} (liked by {} candidates)",
+            rec.item, rec.popularity
+        );
     }
     println!("== u0's neighbours:");
     for n in &output.update.neighbors {

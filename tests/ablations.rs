@@ -36,8 +36,13 @@ fn run_rounds(server: &HyRecServer, users: u32, rounds: usize) -> f64 {
 #[test]
 fn sampler_legs_each_earn_their_keep() {
     let users = 300u32;
-    let config =
-        || HyRecConfig::builder().k(5).anonymize_users(false).seed(17).build();
+    let config = || {
+        HyRecConfig::builder()
+            .k(5)
+            .anonymize_users(false)
+            .seed(17)
+            .build()
+    };
 
     let default_server = HyRecServer::with_config(config());
     let random_only = HyRecServer::with_sampler(config(), RandomOnlySampler);
@@ -69,7 +74,10 @@ fn sampler_legs_each_earn_their_keep() {
     // distance-1 and two distance-2 neighbours plus one distance-3, mean
     // cosine = (2*0.9 + 2*0.8 + 0.7)/5 = 0.82; ring topologies are the
     // slowest case for greedy gossip, so partial convergence is expected).
-    assert!(q_default > 0.6, "default sampler should converge: {q_default:.3}");
+    assert!(
+        q_default > 0.6,
+        "default sampler should converge: {q_default:.3}"
+    );
 }
 
 /// Section 2.4: "Unlike [P2P systems], HyRec allows clients to have offline
@@ -78,7 +86,11 @@ fn sampler_legs_each_earn_their_keep() {
 /// users who never return still serve as candidates and neighbours.
 #[test]
 fn offline_users_still_serve_as_neighbors() {
-    let server = HyRecServer::builder().k(4).anonymize_users(false).seed(23).build();
+    let server = HyRecServer::builder()
+        .k(4)
+        .anonymize_users(false)
+        .seed(23)
+        .build();
     // Users 0-19 rated once and left forever (they never issue requests).
     for u in 0..20u32 {
         for i in 0..8u32 {
@@ -110,7 +122,11 @@ fn offline_users_still_serve_as_neighbors() {
 fn compression_effort_tradeoff_is_monotone() {
     use hyrec::wire::deflate::lz77::Effort;
     use hyrec::wire::gzip;
-    let server = HyRecServer::builder().k(10).anonymize_users(false).seed(5).build();
+    let server = HyRecServer::builder()
+        .k(10)
+        .anonymize_users(false)
+        .seed(5)
+        .build();
     populate(&server, 150);
     let widget = Widget::new();
     for u in 0..150u32 {
@@ -121,7 +137,12 @@ fn compression_effort_tradeoff_is_monotone() {
     let fast = gzip::compress_with(&raw, Effort::FAST);
     let default = gzip::compress_with(&raw, Effort::DEFAULT);
     let best = gzip::compress_with(&raw, Effort::BEST);
-    assert!(default.len() <= fast.len(), "{} vs {}", default.len(), fast.len());
+    assert!(
+        default.len() <= fast.len(),
+        "{} vs {}",
+        default.len(),
+        fast.len()
+    );
     assert!(best.len() <= default.len());
     for packed in [&fast, &default, &best] {
         assert_eq!(gzip::decompress(packed).unwrap(), raw);
@@ -150,7 +171,10 @@ fn profile_cap_ablation() {
         sizes.push((cap, job.json_bytes(), quality));
     }
     // Bigger caps, bigger messages.
-    assert!(sizes[0].1 < sizes[1].1 && sizes[1].1 < sizes[2].1, "{sizes:?}");
+    assert!(
+        sizes[0].1 < sizes[1].1 && sizes[1].1 < sizes[2].1,
+        "{sizes:?}"
+    );
     // The loop converges at every cap (identical in-group profiles).
     for (cap, _, quality) in &sizes {
         assert!(*quality > 0.9, "cap {cap} broke convergence: {quality}");

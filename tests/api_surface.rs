@@ -38,8 +38,13 @@ impl RecommendationPolicy for FirstSeen {
         let mut out = Vec::new();
         for c in candidates.iter() {
             for item in c.profile.liked() {
-                if !profile.contains(item) && !out.iter().any(|rec: &Recommendation| rec.item == item) {
-                    out.push(Recommendation { item, popularity: 1 });
+                if !profile.contains(item)
+                    && !out.iter().any(|rec: &Recommendation| rec.item == item)
+                {
+                    out.push(Recommendation {
+                        item,
+                        popularity: 1,
+                    });
                     if out.len() == r {
                         return out;
                     }
@@ -93,9 +98,17 @@ impl Sampler for OneHopSampler {
 
 #[test]
 fn custom_hooks_compose_end_to_end() {
-    let config = HyRecConfig::builder().k(3).r(4).anonymize_users(false).seed(2).build();
+    let config = HyRecConfig::builder()
+        .k(3)
+        .r(4)
+        .anonymize_users(false)
+        .seed(2)
+        .build();
     let server = hyrec::server::HyRecServer::with_sampler(config, OneHopSampler);
-    let widget = Widget::builder().similarity(SharedItems).policy(FirstSeen).build();
+    let widget = Widget::builder()
+        .similarity(SharedItems)
+        .policy(FirstSeen)
+        .build();
     assert_eq!(widget.similarity_name(), "shared-items");
     assert_eq!(widget.policy_name(), "first-seen");
 

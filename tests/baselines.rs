@@ -8,12 +8,21 @@ use hyrec::sim::quality;
 use hyrec_datasets::{DatasetSpec, TraceGenerator};
 use hyrec_server::offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
 
+fn shared(profiles: &[(UserId, Profile)]) -> Vec<(UserId, SharedProfile)> {
+    profiles
+        .iter()
+        .map(|(u, p)| (*u, SharedProfile::new(p.clone())))
+        .collect()
+}
+
 fn clustered_profiles() -> Vec<(UserId, Profile)> {
     (0..60u32)
         .map(|u| {
             let c = u % 4;
             let profile = Profile::from_liked(
-                (0..8u32).map(|i| c * 100 + (u / 4 + i) % 12).collect::<Vec<_>>(),
+                (0..8u32)
+                    .map(|i| c * 100 + (u / 4 + i) % 12)
+                    .collect::<Vec<_>>(),
             );
             (UserId(u), profile)
         })
@@ -30,16 +39,31 @@ fn all_knn_architectures_agree_on_structure() {
     let k = 5;
 
     // Exact back-ends agree exactly; the sampling one comes close.
-    let exhaustive = ExhaustiveBackend::new(2).compute(&profiles, k);
-    let mahout = MahoutLikeBackend { max_prefs_per_item: usize::MAX, ..Default::default() }
-        .compute(&profiles, k);
-    let crec = CRecBackend::new(2).compute(&profiles, k);
-    let (qe, qm, qc) = (quality_of(&exhaustive), quality_of(&mahout), quality_of(&crec));
-    assert!((qe - qm).abs() < 1e-9, "exact backends diverge: {qe} vs {qm}");
+    let shared_profiles = shared(&profiles);
+    let exhaustive = ExhaustiveBackend::new(2).compute(&shared_profiles, k);
+    let mahout = MahoutLikeBackend {
+        max_prefs_per_item: usize::MAX,
+        ..Default::default()
+    }
+    .compute(&shared_profiles, k);
+    let crec = CRecBackend::new(2).compute(&shared_profiles, k);
+    let (qe, qm, qc) = (
+        quality_of(&exhaustive),
+        quality_of(&mahout),
+        quality_of(&crec),
+    );
+    assert!(
+        (qe - qm).abs() < 1e-9,
+        "exact backends diverge: {qe} vs {qm}"
+    );
     assert!(qc > qe * 0.9, "sampling backend too far off: {qc} vs {qe}");
 
     // The hybrid loop reaches the same neighbourhood quality.
-    let server = HyRecServer::builder().k(k).anonymize_users(false).seed(8).build();
+    let server = HyRecServer::builder()
+        .k(k)
+        .anonymize_users(false)
+        .seed(8)
+        .build();
     for (user, profile) in &profiles {
         for item in profile.liked() {
             server.record(*user, item, Vote::Like);
@@ -59,7 +83,10 @@ fn all_knn_architectures_agree_on_structure() {
     // And so does the fully decentralized network.
     let mut network = GossipNetwork::new(
         profiles.clone(),
-        GossipConfig { k, ..GossipConfig::default() },
+        GossipConfig {
+            k,
+            ..GossipConfig::default()
+        },
     );
     network.run(25);
     let qp = network.average_view_similarity();
@@ -92,7 +119,10 @@ fn p2p_and_hybrid_agree_on_bandwidth_asymmetry() {
     let profiles = clustered_profiles();
     let mut network = GossipNetwork::new(
         profiles.clone(),
-        GossipConfig { k: 5, ..GossipConfig::default() },
+        GossipConfig {
+            k: 5,
+            ..GossipConfig::default()
+        },
     );
     network.run(50); // ~50 minutes of P2P operation
     let p2p_per_node = network.bandwidth_report().mean_bytes_per_node;

@@ -29,7 +29,10 @@ fn hybrid_is_churn_immune_where_p2p_must_self_heal() {
     // --- P2P: converge, then 40% of nodes vanish.
     let mut network = GossipNetwork::new(
         profiles.clone(),
-        GossipConfig { k: 5, ..GossipConfig::default() },
+        GossipConfig {
+            k: 5,
+            ..GossipConfig::default()
+        },
     );
     network.run(20);
     let before = network.average_view_similarity();
@@ -42,11 +45,18 @@ fn hybrid_is_churn_immune_where_p2p_must_self_heal() {
     let after = network.average_view_similarity();
     // The network survives (no collapse), though some entries point at the
     // departed (their profiles remain valid taste evidence).
-    assert!(after > before * 0.5, "P2P collapsed: {before:.3} -> {after:.3}");
+    assert!(
+        after > before * 0.5,
+        "P2P collapsed: {before:.3} -> {after:.3}"
+    );
 
     // --- HyRec: the same "churn" has no effect on anything the server
     // serves. Departed users' profiles still power candidate sets.
-    let server = HyRecServer::builder().k(5).anonymize_users(false).seed(77).build();
+    let server = HyRecServer::builder()
+        .k(5)
+        .anonymize_users(false)
+        .seed(77)
+        .build();
     for (user, profile) in &profiles {
         for item in profile.liked() {
             server.record(*user, item, Vote::Like);
@@ -88,12 +98,20 @@ fn hybrid_is_churn_immune_where_p2p_must_self_heal() {
 fn p2p_partition_isolates_novelty_hyrec_does_not() {
     // Two 20-user groups with *identical* tastes across the partition line.
     let profiles: Vec<(UserId, Profile)> = (0..40u32)
-        .map(|u| (UserId(u), Profile::from_liked((0..8u32).map(|i| (u % 2) * 50 + i).collect::<Vec<_>>())))
+        .map(|u| {
+            (
+                UserId(u),
+                Profile::from_liked((0..8u32).map(|i| (u % 2) * 50 + i).collect::<Vec<_>>()),
+            )
+        })
         .collect();
 
     let mut network = GossipNetwork::new(
         profiles.clone(),
-        GossipConfig { k: 4, ..GossipConfig::default() },
+        GossipConfig {
+            k: 4,
+            ..GossipConfig::default()
+        },
     );
     network.run(15);
     // Partition: users 20..40 go dark.
@@ -114,7 +132,11 @@ fn p2p_partition_isolates_novelty_hyrec_does_not() {
     assert!(!leaked, "partitioned novelty must not propagate in P2P");
 
     // HyRec: the same novelty reaches the other side through the server.
-    let server = HyRecServer::builder().k(4).anonymize_users(false).seed(13).build();
+    let server = HyRecServer::builder()
+        .k(4)
+        .anonymize_users(false)
+        .seed(13)
+        .build();
     for (user, profile) in &profiles {
         for item in profile.liked() {
             server.record(*user, item, Vote::Like);

@@ -19,11 +19,18 @@ fn replay_metrics_are_seed_deterministic() {
     let trace = TraceGenerator::new(DatasetSpec::ML1.scaled(0.04), 5)
         .generate()
         .binarize();
-    let config = ReplayConfig { k: 4, seed: 11, ..ReplayConfig::default() };
+    let config = ReplayConfig {
+        k: 4,
+        seed: 11,
+        ..ReplayConfig::default()
+    };
     let a = replay_hyrec(&trace, &config);
     let b = replay_hyrec(&trace, &config);
     let views = |r: &hyrec::sim::replay::ReplayResult| {
-        r.probes.iter().map(|p| p.view_similarity).collect::<Vec<_>>()
+        r.probes
+            .iter()
+            .map(|p| p.view_similarity)
+            .collect::<Vec<_>>()
     };
     assert_eq!(views(&a), views(&b));
 
@@ -51,7 +58,11 @@ fn server_sampling_is_seed_deterministic() {
 
 #[test]
 fn wire_encoding_is_byte_deterministic() {
-    let server = HyRecServer::builder().k(4).seed(9).anonymize_users(false).build();
+    let server = HyRecServer::builder()
+        .k(4)
+        .seed(9)
+        .anonymize_users(false)
+        .build();
     for u in 0..20u32 {
         for i in 0..10u32 {
             server.record(UserId(u), ItemId(i), Vote::Like);

@@ -26,8 +26,9 @@ fn trace_replay_over_the_wire_converges() {
         assert_eq!(received, job);
 
         // Browser computes and replies over the wire.
-        let (_, update_bytes) =
-            widget.run_encoded_job(&bytes).expect("widget handles wire job");
+        let (_, update_bytes) = widget
+            .run_encoded_job(&bytes)
+            .expect("widget handles wire job");
         let update = KnnUpdate::decode(&update_bytes).expect("update decodes");
         server.apply_update(&update);
     }
@@ -110,7 +111,11 @@ fn profile_caps_bound_wire_sizes() {
 /// New users (cold start) get jobs immediately and join the graph.
 #[test]
 fn cold_start_user_joins_within_one_round() {
-    let server = HyRecServer::builder().k(3).seed(1).anonymize_users(false).build();
+    let server = HyRecServer::builder()
+        .k(3)
+        .seed(1)
+        .anonymize_users(false)
+        .build();
     let widget = Widget::new();
     for u in 0..20u32 {
         for i in 0..5u32 {

@@ -20,7 +20,11 @@ fn system_gzip_available() -> bool {
 }
 
 fn sample_payload() -> Vec<u8> {
-    let server = HyRecServer::builder().k(8).anonymize_users(false).seed(31).build();
+    let server = HyRecServer::builder()
+        .k(8)
+        .anonymize_users(false)
+        .seed(31)
+        .build();
     for u in 0..120u32 {
         for i in 0..60u32 {
             server.record(UserId(u), ItemId((u * 37 + i * 13) % 5_000), Vote::Like);
@@ -132,7 +136,7 @@ fn hostile_ids_survive_the_full_pipeline() {
         uid: UserId(u32::MAX - 7),
         k: 2,
         r: 3,
-        profile: Profile::from_liked([42u32]),
+        profile: Profile::from_liked([42u32]).into(),
         candidates,
     };
     let bytes = job.encode();

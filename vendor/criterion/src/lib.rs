@@ -1,0 +1,330 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the criterion API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter` — with a simple but honest measurement loop: per sample,
+//! the iteration count is calibrated so one sample spans at least ~5 ms,
+//! and the reported estimate is the *median* of per-iteration sample means
+//! (robust to scheduler noise, the same robustness argument criterion's
+//! own analysis makes).
+//!
+//! Results print as one line per benchmark and, when `CRITERION_JSON`
+//! names a file, are also appended there as JSON lines — the workspace's
+//! `BENCH_*.json` trajectory files are produced that way.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One finished measurement, as recorded into the JSON trail.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name (`c.benchmark_group(...)`).
+    pub group: String,
+    /// Benchmark id inside the group (`function` or `function/param`).
+    pub id: String,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Maximum per-iteration time, nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Optional throughput denominator (bytes per iteration).
+    pub throughput_bytes: Option<u64>,
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (top-level `c.bench_function`).
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self, "standalone", id, 20, None, f);
+        self
+    }
+
+    /// All measurements recorded so far.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the JSON trail if `CRITERION_JSON` is set. Called by
+    /// [`criterion_main!`] after all groups ran.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut file = match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("criterion shim: cannot open {path}: {e}");
+                return;
+            }
+        };
+        for m in &self.results {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}",
+                m.group, m.id, m.median_ns, m.min_ns, m.max_ns, m.samples
+            );
+            if let Some(bytes) = m.throughput_bytes {
+                let _ = write!(line, ",\"throughput_bytes\":{bytes}");
+            }
+            line.push('}');
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Throughput annotation for a group (affects reporting only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration (reported, not measured).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (name, sample_size, throughput) =
+            (self.name.clone(), self.sample_size, self.throughput);
+        run_one(self.criterion, &name, id, sample_size, throughput, f);
+        self
+    }
+
+    /// Benchmarks `f(bencher, input)` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (name, sample_size, throughput) =
+            (self.name.clone(), self.sample_size, self.throughput);
+        run_one(
+            self.criterion,
+            &name,
+            &id.id,
+            sample_size,
+            throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; measurement is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Handle passed to benchmark closures; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    criterion: &mut Criterion,
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: find an iteration count where one sample spans >= 5 ms
+    // (or a single iteration already exceeds it).
+    let mut iters = 1u64;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        // Grow towards the target with a progress-based estimate.
+        let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (0.005 / per_iter).ceil() as u64
+        } else {
+            iters * 10
+        };
+        iters = needed.clamp(iters * 2, iters * 100).min(1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            bencher.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let measurement = Measurement {
+        group: group.to_string(),
+        id: id.to_string(),
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        min_ns: per_iter_ns[0],
+        max_ns: per_iter_ns[per_iter_ns.len() - 1],
+        samples: per_iter_ns.len(),
+        throughput_bytes: match throughput {
+            Some(Throughput::Bytes(b)) => Some(b),
+            _ => None,
+        },
+    };
+    let throughput_note = measurement
+        .throughput_bytes
+        .map(|b| {
+            let gib_s = b as f64 / measurement.median_ns;
+            format!("  ({gib_s:.3} GB/s)")
+        })
+        .unwrap_or_default();
+    println!(
+        "{:<40} median {:>12.1} ns  min {:>12.1} ns  ({} samples × {} iters){}",
+        format!("{group}/{id}"),
+        measurement.median_ns,
+        measurement.min_ns,
+        measurement.samples,
+        iters,
+        throughput_note,
+    );
+    criterion.results.push(measurement);
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+            group.finish();
+        }
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns > 0.0);
+        assert_eq!(c.measurements()[0].id, "sum/10");
+    }
+
+    #[test]
+    fn bench_function_records_under_group() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("wire");
+            group.sample_size(2);
+            group.bench_function("encode", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        }
+        assert_eq!(c.measurements()[0].group, "wire");
+        assert_eq!(c.measurements()[0].id, "encode");
+    }
+}

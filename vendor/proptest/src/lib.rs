@@ -1,0 +1,660 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! [`strategy::Just`], `any::<T>()`, ranges, tuples, string-pattern
+//! strategies (a small regex subset: char classes, `\PC`, `{m,n}`
+//! repetition) and [`collection::vec`].
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (failures report the original case), and the default
+//! case count is 64. Case generation is deterministic per test name, so
+//! failures reproduce.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-runner plumbing: configuration and case-level error signalling.
+pub mod test_runner {
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not succeed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// The random source threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named property test.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test path: deterministic, collision-tolerant (any
+    // seed is as good as any other for generation purposes).
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] for boxing.
+    trait ErasedStrategy<T> {
+        fn generate_erased(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn generate_erased(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_erased(rng)
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies ([`prop_oneof!`]'s output).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Self { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut roll = rng.gen_range(0..self.total);
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if roll < weight {
+                    return strat.generate(rng);
+                }
+                roll -= weight;
+            }
+            unreachable!("weights summed incorrectly")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String strategies from a small regex subset: a sequence of atoms,
+    /// each a literal char, a `[...]` class (ranges, `\`-escapes) or `\PC`
+    /// (any non-control char), optionally followed by `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Atom {
+        Class(Vec<char>),
+        NonControl,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut members = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '\\' => {
+                    let escaped = chars.next().expect("dangling escape in class");
+                    let literal = match escaped {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    members.push(literal);
+                    prev = Some(literal);
+                }
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let start = prev.take().expect("range start");
+                    let end = chars.next().expect("range end");
+                    for code in (start as u32 + 1)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(code) {
+                            members.push(ch);
+                        }
+                    }
+                }
+                other => {
+                    members.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        assert!(!members.is_empty(), "empty character class");
+        members
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().expect("bad repeat lower bound"),
+                hi.parse().expect("bad repeat upper bound"),
+            ),
+            None => {
+                let n = spec.parse().expect("bad repeat count");
+                (n, n)
+            }
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                        Atom::NonControl
+                    }
+                    Some('n') => Atom::Class(vec!['\n']),
+                    Some('t') => Atom::Class(vec!['\t']),
+                    Some(other) => Atom::Class(vec![other]),
+                    None => panic!("dangling escape in pattern"),
+                },
+                other => Atom::Class(vec![other]),
+            };
+            let (lo, hi) = parse_repeat(&mut chars);
+            let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Class(members) => {
+                        out.push(members[rng.gen_range(0..members.len())]);
+                    }
+                    Atom::NonControl => loop {
+                        // Mostly ASCII with occasional multi-byte chars —
+                        // the interesting space for a JSON parser.
+                        let candidate = if rng.gen_range(0..4usize) == 0 {
+                            char::from_u32(rng.gen_range(0x80u32..0x1_0000))
+                        } else {
+                            char::from_u32(rng.gen_range(0x20u32..0x7F))
+                        };
+                        if let Some(ch) = candidate.filter(|ch| !ch.is_control()) {
+                            out.push(ch);
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*), file!(), line!()
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each function runs `config.cases` generated
+/// cases (retrying `prop_assume!` rejections, bounded at 50× the case
+/// budget).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config); $($rest)*);
+    };
+    (@run ($config:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(50),
+                    "too many prop_assume! rejections in {}", stringify!($name)
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let case = (|| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                })();
+                match case {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed: {}", stringify!($name), msg);
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = crate::rng_for("shim::ranges");
+        for _ in 0..100 {
+            let v = (1u32..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let xs = crate::collection::vec(0u64..50, 2..40).generate(&mut rng);
+            assert!((2..40).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::rng_for("shim::strings");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "\\PC{0,100}".generate(&mut rng);
+            assert!(t.chars().count() <= 100);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_are_literal() {
+        let mut rng = crate::rng_for("shim::escapes");
+        let allowed: Vec<char> = "abc-\"\\\n\t".chars().collect();
+        for _ in 0..200 {
+            let s = "[abc\\-\"\\\\\n\t]{0,20}".generate(&mut rng);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let mut rng = crate::rng_for("shim::oneof");
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 800, "expected ~900 trues, got {trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0u32..10, ys in crate::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), ys.len());
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}

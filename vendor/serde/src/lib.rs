@@ -1,0 +1,37 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace's actual wire format is the hand-rolled JSON + DEFLATE
+//! stack in `hyrec-wire`; the `serde` derives on domain types only declare
+//! *intent* (the types are serialization-safe) and are never driven by a
+//! serde serializer. With no network access to crates.io, this shim keeps
+//! those declarations compiling: marker traits blanket-implemented for all
+//! types, plus the no-op derives from the sibling `serde_derive` shim.
+//!
+//! The `derive` and `rc` cargo features are accepted (and meaningless) so
+//! the workspace manifest reads identically with the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (shim: satisfied by every type).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types (shim: satisfied by every type).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stub of `serde::ser` so paths like `serde::ser::Serialize` resolve.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stub of `serde::de` so paths like `serde::de::DeserializeOwned` resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The shim `serde` crate blanket-implements its marker `Serialize` /
+//! `Deserialize` traits for every type, so these derives have nothing to
+//! generate. They exist so that `#[derive(Serialize, Deserialize)]` and
+//! field attributes like `#[serde(skip)]` keep compiling unchanged; the
+//! `attributes(serde)` registration is what makes the attribute legal.
+//!
+//! No `syn`/`quote` dependency: the input token stream is simply discarded.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; registers the `#[serde(...)]` helper attribute.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; registers the `#[serde(...)]` helper attribute.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
