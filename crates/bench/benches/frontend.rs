@@ -142,6 +142,42 @@ fn bench_batched(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batched_encoder(c: &mut Criterion) {
+    // The coalescing front-end's serialization path: one encode_jobs call
+    // over a warm fragment cache vs the same jobs encoded one by one. The
+    // batch variant resolves the cache under one lock round-trip and reuses
+    // one scratch buffer across prefixes and misses.
+    let mut group = c.benchmark_group("encoder");
+    group.sample_size(15);
+    let population = build_population(10_000, 100, 10, 11);
+    const BATCH: usize = 256;
+    let users: Vec<UserId> = population.users[..BATCH].to_vec();
+    let jobs = population.server.build_jobs(&users);
+    let _ = population.encoder.encode_jobs(&jobs); // warm the cache
+
+    group.bench_with_input(
+        BenchmarkId::new("scalar-encode", BATCH),
+        &BATCH,
+        |bench, _| {
+            bench.iter(|| {
+                let bodies: Vec<_> = jobs
+                    .iter()
+                    .map(|job| population.encoder.encode(job))
+                    .collect();
+                std::hint::black_box(bodies)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("encode_jobs", BATCH),
+        &BATCH,
+        |bench, _| {
+            bench.iter(|| std::hint::black_box(population.encoder.encode_jobs(&jobs)));
+        },
+    );
+    group.finish();
+}
+
 fn bench_sampler(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampler");
     group.sample_size(30);
@@ -159,5 +195,11 @@ fn bench_sampler(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frontends, bench_batched, bench_sampler);
+criterion_group!(
+    benches,
+    bench_frontends,
+    bench_batched,
+    bench_batched_encoder,
+    bench_sampler
+);
 criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! HTTP front-end load harness.
+//!
+//! * `http_load bench` — measures closed-loop `/online/` throughput of
+//!   three front-ends at several concurrency levels and prints
+//!   `BENCH_http.json`-style lines to stdout:
+//!   * `seed-threadpool` — the seed architecture: thread-per-connection
+//!     server, scalar `/online/` re-gzipping the whole job per request.
+//!   * `threadpool-cached` — the same blocking server, but `/online/`
+//!     served through the fragment-cache encoder (batch of one).
+//!   * `reactor-coalesced` — the epoll reactor gathering concurrent
+//!     requests into `build_jobs` + `encode_jobs` batches.
+//! * `http_load smoke` — CI gate: fires a few hundred concurrent requests
+//!   at the reactor front-end, asserts every response is 200 and that the
+//!   server drains cleanly on shutdown.
+//!
+//! ```text
+//! cargo run --release -p hyrec-bench --bin http_load -- bench > BENCH_http.json
+//! cargo run --release -p hyrec-bench --bin http_load -- smoke
+//! ```
+
+use hyrec_http::{BatchPolicy, HttpServer};
+use hyrec_sim::load::{
+    build_population, measure_throughput, seed_frontend_router, spawn_benchmark_server,
+    spawn_reactor_server, warm_cache, Population, Throughput,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Users in the benchmark population.
+const USERS: usize = 2_000;
+/// Liked items per user profile.
+const PROFILE_SIZE: usize = 60;
+/// Neighbourhood size.
+const K: usize = 10;
+/// Worker threads for the blocking thread-pool server.
+const POOL_WORKERS: usize = 8;
+/// Worker threads behind the reactor's event loop.
+const REACTOR_WORKERS: usize = 4;
+/// Total requests targeted per series (split across the clients).
+const TARGET_REQUESTS: usize = 2_048;
+
+fn main() {
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench".to_owned());
+    match mode.as_str() {
+        "bench" => bench(),
+        "smoke" => smoke(),
+        other => {
+            eprintln!("unknown mode `{other}` (expected `bench` or `smoke`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(id: &str, clients: usize, result: &Throughput) {
+    println!(
+        "{{\"group\":\"http-load\",\"id\":\"{id}/{clients}\",\"clients\":{clients},\
+         \"ok\":{},\"errors\":{},\"elapsed_ms\":{:.1},\"rps\":{:.1}}}",
+        result.ok,
+        result.errors,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.rps,
+    );
+    eprintln!(
+        "  {id:>20} @ {clients:>4} clients: {:>8.1} req/s ({} ok, {} err, {:.1} ms)",
+        result.rps,
+        result.ok,
+        result.errors,
+        result.elapsed.as_secs_f64() * 1e3
+    );
+}
+
+fn bench_population() -> Population {
+    eprintln!("building {USERS}-user population (profile size {PROFILE_SIZE}, k={K})…");
+    let population = build_population(USERS, PROFILE_SIZE, K, 42);
+    eprintln!("warming the fragment cache…");
+    warm_cache(&population, USERS);
+    population
+}
+
+fn bench() {
+    let population = bench_population();
+    for clients in [64usize, 256, 1024] {
+        let per_client = (TARGET_REQUESTS / clients).max(2);
+        eprintln!("== {clients} concurrent connections ({per_client} requests each)");
+
+        // Baseline: the seed thread-per-connection front-end.
+        let seed = HttpServer::bind("127.0.0.1:0", POOL_WORKERS).expect("bind seed server");
+        let addr = seed.local_addr();
+        let handle = seed.serve(seed_frontend_router(Arc::clone(&population.server)));
+        let result = measure_throughput(addr, "/online/", USERS, clients, per_client);
+        emit("seed-threadpool", clients, &result);
+        handle.stop();
+
+        // Same blocking server, cached encoder (isolates the encoder win
+        // from the front-end win).
+        let (handle, addr) = spawn_benchmark_server(&population, POOL_WORKERS);
+        let result = measure_throughput(addr, "/online-fast/", USERS, clients, per_client);
+        emit("threadpool-cached", clients, &result);
+        handle.stop();
+
+        // The reactor + coalescing front-end. A 64-job cap keeps batches
+        // inside the workers' sweet spot (bigger caps serialize too much
+        // encode work behind one worker).
+        let policy = BatchPolicy {
+            max_batch: 64,
+            gather_window: Duration::from_millis(1),
+        };
+        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, policy);
+        let result = measure_throughput(addr, "/online/", USERS, clients, per_client);
+        let stats = handle.stats();
+        eprintln!(
+            "  {:>20}   coalescing: {} requests in {} batches (mean {:.1}/flush)",
+            "",
+            stats.batched_requests(),
+            stats.batches(),
+            stats.batched_requests() as f64 / stats.batches().max(1) as f64
+        );
+        emit("reactor-coalesced", clients, &result);
+        handle.stop();
+    }
+}
+
+fn smoke() {
+    const CLIENTS: usize = 64;
+    const PER_CLIENT: usize = 5;
+    eprintln!("http smoke: {CLIENTS} concurrent clients × {PER_CLIENT} requests…");
+    let population = build_population(200, 20, 5, 7);
+    let policy = BatchPolicy::default();
+    let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, policy);
+
+    // Interleaved /rate/ and /online/ traffic.
+    let rate = measure_throughput(addr, "/rate/?item=9000&like=1", 200, CLIENTS, PER_CLIENT);
+    assert_eq!(
+        (rate.ok, rate.errors),
+        (CLIENTS * PER_CLIENT, 0),
+        "rate traffic must be all-200"
+    );
+    let online = measure_throughput(addr, "/online/", 200, CLIENTS, PER_CLIENT);
+    assert_eq!(
+        (online.ok, online.errors),
+        (CLIENTS * PER_CLIENT, 0),
+        "online traffic must be all-200"
+    );
+    let served = handle.request_count();
+    assert_eq!(
+        served as usize,
+        2 * CLIENTS * PER_CLIENT,
+        "request accounting"
+    );
+
+    // Drain: stop() must return promptly with nothing left in flight.
+    let start = std::time::Instant::now();
+    handle.stop();
+    let drain = start.elapsed();
+    assert!(
+        drain < Duration::from_secs(3),
+        "shutdown took {drain:?}; drain is stuck"
+    );
+    eprintln!(
+        "smoke ok: {} requests all 200 ({:.0} + {:.0} req/s), drained in {drain:?}",
+        served, rate.rps, online.rps
+    );
+}

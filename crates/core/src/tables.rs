@@ -87,6 +87,29 @@ impl ProfileTable {
         Arc::make_mut(shard.entry(user).or_default()).record(item, vote)
     }
 
+    /// Batched [`Self::record`]: ingests many votes while taking each
+    /// touched shard's *write* lock exactly once.
+    ///
+    /// Results are in input order and semantically identical to calling
+    /// `record` once per vote in order: votes for the same user always land
+    /// in the same shard, and positions within a shard group preserve input
+    /// order, so later votes see the effect of earlier ones. This is the
+    /// ingestion half of request coalescing — a burst of `/rate/` traffic
+    /// costs one lock acquisition per touched shard instead of one per vote.
+    #[must_use]
+    pub fn record_many(&self, votes: &[(UserId, ItemId, Vote)]) -> Vec<bool> {
+        let keys: Vec<UserId> = votes.iter().map(|&(user, _, _)| user).collect();
+        let mut out = vec![false; votes.len()];
+        for (shard_idx, positions) in group_by_shard(&keys) {
+            let mut shard = self.shards[shard_idx].write();
+            for pos in positions {
+                let (user, item, vote) = votes[pos];
+                out[pos] = Arc::make_mut(shard.entry(user).or_default()).record(item, vote);
+            }
+        }
+        out
+    }
+
     /// Replaces `user`'s whole profile, returning the previous one if any.
     pub fn insert(&self, user: UserId, profile: impl Into<Arc<Profile>>) -> Option<Arc<Profile>> {
         let mut shard = self.shards[shard_of(user)].write();
@@ -430,6 +453,37 @@ mod tests {
                 assert!(Arc::ptr_eq(profile, &t.get(*user).unwrap()));
             }
         }
+    }
+
+    #[test]
+    fn record_many_matches_sequential_record() {
+        let batched = ProfileTable::new();
+        let sequential = ProfileTable::new();
+        // A churn-heavy stream: repeats, flips, and cross-shard users.
+        let votes: Vec<(UserId, ItemId, Vote)> = (0..500u32)
+            .map(|i| {
+                let user = UserId(i % 37);
+                let item = ItemId(i % 11);
+                let vote = if i % 3 == 0 {
+                    Vote::Dislike
+                } else {
+                    Vote::Like
+                };
+                (user, item, vote)
+            })
+            .collect();
+        let batch_flags = batched.record_many(&votes);
+        let seq_flags: Vec<bool> = votes
+            .iter()
+            .map(|&(user, item, vote)| sequential.record(user, item, vote))
+            .collect();
+        assert_eq!(batch_flags, seq_flags);
+        assert_eq!(batched.len(), sequential.len());
+        for &(user, _, _) in &votes {
+            assert_eq!(batched.get(user), sequential.get(user), "user {user}");
+        }
+        // Empty batch is a no-op.
+        assert!(batched.record_many(&[]).is_empty());
     }
 
     #[test]

@@ -10,28 +10,69 @@
 //! The `/online` + `/neighbors` pair is verbatim from the paper; `/rate` is
 //! the profile-update entry point the paper folds into "the server first
 //! updates u's profile".
+//!
+//! ## Coalescing
+//!
+//! The hot endpoints are registered as **batch routes** (see
+//! [`Router::get_batched`]): under the reactor front-end, concurrent
+//! `/online/` requests inside a gather window funnel into a single
+//! [`HyRecServer::build_jobs`] call whose outputs are serialized by the
+//! batched, fragment-caching [`JobEncoder::encode_jobs`]; `/rate/` bursts
+//! stage their votes through the shard-grouped
+//! [`HyRecServer::record_many`]; `POST /neighbors/` bursts apply through
+//! [`HyRecServer::apply_updates`]. On the thread-per-connection server the
+//! same routes run with batches of one, and every batched response is
+//! byte-identical to what the sequential scalar path produces.
 
 use crate::request::Request;
 use crate::response::Response;
-use crate::router::Router;
+use crate::router::{BatchPolicy, Router};
 use hyrec_core::{ItemId, Neighbor, UserId, Vote};
-use hyrec_server::HyRecServer;
+use hyrec_server::{HyRecServer, JobEncoder};
 use hyrec_wire::KnnUpdate;
 use std::sync::Arc;
 
-/// Builds the HyRec API router around a shared server.
+/// Builds the HyRec API router around a shared server, with a fresh
+/// fragment-cache encoder and default coalescing policy.
 #[must_use]
 pub fn hyrec_router(server: Arc<HyRecServer>) -> Router {
+    hyrec_router_with(server, Arc::new(JobEncoder::new()), BatchPolicy::default())
+}
+
+/// Builds the HyRec API router around a shared server and a shared
+/// [`JobEncoder`] (so load harnesses and multiple front-ends reuse one
+/// fragment cache), with an explicit coalescing policy for the batch
+/// routes.
+#[must_use]
+pub fn hyrec_router_with(
+    server: Arc<HyRecServer>,
+    encoder: Arc<JobEncoder>,
+    policy: BatchPolicy,
+) -> Router {
     let mut router = Router::new();
 
-    // GET /online/?uid=N — the "Client request" row of Table 1.
+    // GET /online/?uid=N — the "Client request" row of Table 1. Gathered
+    // requests become one build_jobs + encode_jobs round; arrival order is
+    // batch order, so the RNG stream matches the sequential path.
     let online_server = Arc::clone(&server);
-    router.get("/online/", move |req| match parse_uid(req) {
-        Ok(uid) => {
-            let job = online_server.build_job(uid);
-            Response::ok_pregzipped_json(job.encode())
-        }
-        Err(reason) => Response::bad_request(&reason),
+    let online_encoder = Arc::clone(&encoder);
+    router.get_batched("/online/", policy, move |requests| {
+        let parsed: Vec<Result<UserId, String>> = requests.iter().map(parse_uid).collect();
+        let uids: Vec<UserId> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok().copied())
+            .collect();
+        let jobs = online_server.build_jobs(&uids);
+        let mut bodies = online_encoder.encode_jobs(&jobs).into_iter();
+        parsed
+            .into_iter()
+            .map(|p| match p {
+                Ok(_) => Response::ok_pregzipped_json(
+                    bodies.next().expect("one encoded body per valid uid"),
+                ),
+                Err(reason) => Response::bad_request(&reason),
+            })
+            .collect()
     });
 
     // GET /neighbors/?uid=N&id0=..&sim0=.. — "Update KNN selection".
@@ -45,41 +86,67 @@ pub fn hyrec_router(server: Arc<HyRecServer>) -> Router {
     });
 
     // POST /neighbors/ with a gzipped KnnUpdate body (our wire form).
+    // Gathered updates apply through one shard-grouped write-back.
     let post_server = Arc::clone(&server);
-    router.post("/neighbors/", move |req| {
-        match KnnUpdate::decode(&req.body) {
-            Ok(update) => {
-                post_server.apply_update(&update);
-                Response::ok("application/json", b"{\"ok\":true}".to_vec())
-            }
-            Err(err) => Response::bad_request(&err.to_string()),
-        }
+    router.post_batched("/neighbors/", policy, move |requests| {
+        let mut updates = Vec::with_capacity(requests.len());
+        let responses: Vec<Response> = requests
+            .iter()
+            .map(|req| match KnnUpdate::decode(&req.body) {
+                Ok(update) => {
+                    updates.push(update);
+                    Response::ok("application/json", b"{\"ok\":true}".to_vec())
+                }
+                Err(err) => Response::bad_request(&err.to_string()),
+            })
+            .collect();
+        post_server.apply_updates(&updates);
+        responses
     });
 
-    // GET /rate/?uid=N&item=I&like=0|1 — profile update.
+    // GET /rate/?uid=N&item=I&like=0|1 — profile update. Gathered votes
+    // ingest through record_many: one write lock per touched shard.
     let rate_server = Arc::clone(&server);
-    router.get("/rate/", move |req| {
-        let uid = match parse_uid(req) {
-            Ok(uid) => uid,
-            Err(reason) => return Response::bad_request(&reason),
-        };
-        let item = match req.query_param("item").and_then(|v| v.parse::<u32>().ok()) {
-            Some(item) => ItemId(item),
-            None => return Response::bad_request("missing or invalid `item`"),
-        };
-        let vote = match req.query_param("like") {
-            Some("1") => Vote::Like,
-            Some("0") => Vote::Dislike,
-            _ => return Response::bad_request("`like` must be 0 or 1"),
-        };
-        let changed = rate_server.record(uid, item, vote);
-        Response::ok(
-            "application/json",
-            format!("{{\"ok\":true,\"changed\":{changed}}}").into_bytes(),
-        )
+    router.get_batched("/rate/", policy, move |requests| {
+        let parsed: Vec<Result<(UserId, ItemId, Vote), String>> =
+            requests.iter().map(parse_rate).collect();
+        let votes: Vec<(UserId, ItemId, Vote)> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok().copied())
+            .collect();
+        let mut changed = rate_server.record_many(&votes).into_iter();
+        parsed
+            .into_iter()
+            .map(|p| match p {
+                Ok(_) => {
+                    let flag = changed.next().expect("one change flag per valid vote");
+                    Response::ok(
+                        "application/json",
+                        format!("{{\"ok\":true,\"changed\":{flag}}}").into_bytes(),
+                    )
+                }
+                Err(reason) => Response::bad_request(&reason),
+            })
+            .collect()
     });
 
     router
+}
+
+/// Parses the `/rate/` query triple.
+fn parse_rate(req: &Request) -> Result<(UserId, ItemId, Vote), String> {
+    let uid = parse_uid(req)?;
+    let item = req
+        .query_param("item")
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(ItemId)
+        .ok_or_else(|| "missing or invalid `item`".to_owned())?;
+    let vote = match req.query_param("like") {
+        Some("1") => Vote::Like,
+        Some("0") => Vote::Dislike,
+        _ => return Err("`like` must be 0 or 1".to_owned()),
+    };
+    Ok((uid, item, vote))
 }
 
 fn parse_uid(req: &Request) -> Result<UserId, String> {
@@ -209,6 +276,89 @@ mod tests {
     fn unknown_route_is_404() {
         let (handle, client, _) = spawn_api();
         assert_eq!(client.get("/nope").unwrap().status, 404);
+        handle.stop();
+    }
+
+    #[test]
+    fn trailing_slash_is_optional_on_every_endpoint() {
+        // Regression: the seed router 404'd on `/online` (no slash).
+        let (handle, client, _) = spawn_api();
+        let with = client.get("/online/?uid=1").unwrap();
+        assert_eq!(with.status, 200);
+        // Same endpoint without the slash: same route, fresh sampler draw.
+        let without = client.get("/online?uid=1").unwrap();
+        assert_eq!(without.status, 200);
+        let job = PersonalizationJob::decode(&without.body).unwrap();
+        assert_eq!(job.uid, UserId(1));
+        assert_eq!(
+            client.get("/rate?uid=60&item=1&like=1").unwrap().status,
+            200
+        );
+        assert_eq!(client.get("/neighbors?uid=2&id0=5").unwrap().status, 200);
+        handle.stop();
+    }
+
+    #[test]
+    fn online_body_matches_scalar_pipeline() {
+        // The HTTP body must be byte-identical to build_job + encode on an
+        // identically-seeded twin server.
+        let (handle, client, _) = spawn_api();
+        let twin = hyrec_server::HyRecServer::builder()
+            .k(3)
+            .r(5)
+            .anonymize_users(false)
+            .seed(5)
+            .build();
+        for u in 0..12u32 {
+            for i in 0..5u32 {
+                twin.record(UserId(u), ItemId(u % 3 * 100 + i), Vote::Like);
+            }
+        }
+        let encoder = JobEncoder::new();
+        let expected = encoder.encode(&twin.build_job(UserId(1)));
+        let response = client.get("/online/?uid=1").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body, expected,
+            "HTTP body diverged from scalar path"
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn full_widget_round_trip_over_reactor() {
+        // The same API served by the epoll reactor front-end.
+        let hyrec = Arc::new(
+            hyrec_server::HyRecServer::builder()
+                .k(3)
+                .r(5)
+                .anonymize_users(false)
+                .seed(5)
+                .build(),
+        );
+        for u in 0..12u32 {
+            for i in 0..5u32 {
+                hyrec.record(UserId(u), ItemId(u % 3 * 100 + i), Vote::Like);
+            }
+        }
+        let server = crate::reactor::ReactorServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(hyrec_router(Arc::clone(&hyrec)));
+        let client = HttpClient::new(addr);
+
+        let response = client.get("/online/?uid=1").unwrap();
+        assert_eq!(response.status, 200);
+        let job = PersonalizationJob::decode(&response.body).unwrap();
+        assert_eq!(job.uid, UserId(1));
+
+        let out = Widget::new().run_job(&job);
+        let response = client.post("/neighbors/", &out.update.encode()).unwrap();
+        assert_eq!(response.status, 200);
+        assert!(hyrec.knn_of(UserId(1)).is_some());
+
+        let response = client.get("/rate/?uid=1&item=9999&like=1").unwrap();
+        assert_eq!(response.status, 200);
+        assert!(hyrec.profile_of(UserId(1)).unwrap().likes(ItemId(9999)));
         handle.stop();
     }
 }

@@ -4,45 +4,64 @@
 //! HyRec reproduction — the stand-in for the paper's J2EE servlets + Jetty
 //! (Section 4.1).
 //!
-//! * [`threadpool`] — fixed-size worker pool (the servlet container's
-//!   request threads; its size is the knob behind Figure 9's concurrency
-//!   experiment).
-//! * [`request`] / [`response`] — HTTP parsing and serialization with
+//! Two interchangeable server front-ends speak the same protocol:
+//!
+//! * [`server`] — the seed architecture: blocking accept loop over a
+//!   fixed [`threadpool`] (the servlet container's request threads; the
+//!   pool size is the knob behind Figure 9's concurrency experiment).
+//! * [`reactor`] — the scaling architecture: an epoll readiness loop
+//!   (raw bindings in a private `sys` module, no external deps) with
+//!   nonblocking per-connection state machines, recycled buffers, a small
+//!   worker pool, and **request coalescing**: concurrent requests to
+//!   [batch routes](Router::get_batched) are gathered — up to a cap,
+//!   within a gather window — and handed to one batched handler call.
+//!
+//! Shared plumbing:
+//!
+//! * [`request`] / [`response`] — HTTP parsing (incremental
+//!   [`Request::try_parse`] for the reactor) and serialization with
 //!   `Content-Encoding: gzip` handled by our own `hyrec-wire` codec.
-//! * [`router`] — path-prefix routing.
-//! * [`server`] — the accept loop.
+//! * [`router`] — path-prefix routing, scalar and batch routes, trailing
+//!   slash optional.
 //! * [`client`] — a small blocking client used by load generators and
 //!   examples.
-//! * [`api`] — the HyRec web API of Table 1:
-//!   `GET /online/?uid=<uid>` returns a gzipped personalization job;
-//!   `GET /neighbors/?uid=<uid>&id0=…&sim0=…` records a KNN update.
+//! * [`api`] — the HyRec web API of Table 1, mounted with coalescable
+//!   routes: `GET /online/?uid=<uid>` batches into
+//!   `HyRecServer::build_jobs` + `JobEncoder::encode_jobs`,
+//!   `GET /rate/` batches into the shard-grouped
+//!   `HyRecServer::record_many`, and `POST /neighbors/` batches into
+//!   `HyRecServer::apply_updates`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use hyrec_http::{api, server::HttpServer};
+//! use hyrec_http::{api, reactor::ReactorServer};
 //! use hyrec_server::HyRecServer;
 //!
 //! let hyrec = Arc::new(HyRecServer::new());
-//! let server = HttpServer::bind("127.0.0.1:0", 4)?;
+//! let server = ReactorServer::bind("127.0.0.1:0", 4)?;
 //! let addr = server.local_addr();
-//! server.serve(api::hyrec_router(hyrec));
+//! let handle = server.serve(api::hyrec_router(hyrec));
 //! println!("HyRec API listening on http://{addr}");
+//! // … handle.stop() drains in-flight work and joins the event loop.
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only in `sys` (raw epoll/eventfd bindings)
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
+pub mod reactor;
 pub mod request;
 pub mod response;
 pub mod router;
 pub mod server;
+mod sys;
 pub mod threadpool;
 
 pub use client::HttpClient;
+pub use reactor::ReactorServer;
 pub use request::Request;
 pub use response::Response;
-pub use router::Router;
+pub use router::{BatchPolicy, Router};
 pub use server::HttpServer;

@@ -1,0 +1,1083 @@
+//! The epoll reactor front-end: one event-loop thread multiplexing every
+//! connection, a small worker pool doing the request work, and a
+//! coalescing layer gathering concurrent requests to batch routes.
+//!
+//! The thread-per-connection [`crate::server::HttpServer`] holds one OS
+//! thread hostage per in-flight connection — fine for hundreds of browsers,
+//! fatal for the millions HyRec targets (Section 4's premise is that the
+//! front-end stays *cheap* as the population grows). The reactor replaces
+//! it with:
+//!
+//! * **Nonblocking accept + per-connection state machines.** Each
+//!   connection owns a read accumulation buffer and a staged write buffer;
+//!   both are recycled through a buffer pool when the connection closes, so
+//!   steady-state serving allocates nothing per connection.
+//! * **A readiness loop** over raw `epoll` (see [`crate::sys`]; no external
+//!   dependencies), level-triggered, with a wakeup `eventfd` for response
+//!   completions coming back from the workers.
+//! * **Request coalescing.** Requests resolving to a
+//!   [batch route](crate::router::Router::get_batched) are *gathered*
+//!   rather than dispatched: a batch flushes to the worker pool when it
+//!   reaches the route's `max_batch`, when its oldest request has waited
+//!   the route's `gather_window`, or as soon as the pipeline goes idle —
+//!   so a lightly-loaded server answers immediately while a saturated one
+//!   funnels whole bursts of `GET /online/` into single
+//!   `HyRecServer::build_jobs` calls.
+//!
+//! Shutdown drains: pending batches are flushed, in-flight work completes,
+//! staged responses are written out, then the loop exits and the pool
+//! joins.
+
+use crate::request::Request;
+use crate::response::Response;
+use crate::router::{BatchRoute, Resolution, Router};
+use crate::sys::{Epoll, EpollEvent, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::threadpool::ThreadPool;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Epoll token of the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Epoll token of the completion-wakeup eventfd.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+/// Read chunk size for the nonblocking read loop.
+const READ_CHUNK: usize = 16 * 1024;
+/// Hard cap on a connection's accumulated request bytes (headers + body
+/// caps plus framing slack; `Request::try_parse` rejects earlier in
+/// practice).
+const MAX_CONN_BUF: usize = 17 * 1024 * 1024;
+/// Connections idle in the reading state longer than this are dropped.
+const READ_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long a draining shutdown waits before abandoning in-flight work.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// Buffers recycled through the pool are capped at this many.
+const BUFFER_POOL_CAP: usize = 1024;
+/// Buffers that grew beyond this are dropped instead of recycled, so a
+/// burst of large requests/responses cannot pin gigabytes in the pool.
+const BUFFER_RECYCLE_MAX: usize = 64 * 1024;
+/// How long the listener stays deregistered after an accept failure like
+/// EMFILE (level-triggered readiness would otherwise busy-spin the loop).
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+/// Accept-queue depth requested from the kernel (clamped by
+/// `net.core.somaxconn`).
+const ACCEPT_BACKLOG: i32 = 4096;
+
+/// Serving statistics, shared between the reactor thread and its handle.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Number of complete requests parsed.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of coalesced batches flushed to batch routes.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served through batch routes (so
+    /// `batched_requests / batches` is the achieved mean batch size).
+    #[must_use]
+    pub fn batched_requests(&self) -> u64 {
+        self.batched_requests.load(Ordering::Relaxed)
+    }
+}
+
+/// An epoll-based nonblocking HTTP/1.1 server (`Connection: close`
+/// semantics, one request per connection — same protocol surface as
+/// [`crate::server::HttpServer`], different concurrency architecture).
+pub struct ReactorServer {
+    listener: TcpListener,
+    workers: usize,
+    local_addr: SocketAddr,
+}
+
+impl std::fmt::Debug for ReactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorServer")
+            .field("addr", &self.local_addr)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Handle for observing and stopping a running reactor.
+#[derive(Debug)]
+pub struct ReactorHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    stats: Arc<ReactorStats>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Address the server is bound to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of complete requests parsed so far.
+    #[must_use]
+    pub fn request_count(&self) -> u64 {
+        self.stats.requests()
+    }
+
+    /// Serving statistics (batch counts expose achieved coalescing).
+    #[must_use]
+    pub fn stats(&self) -> &ReactorStats {
+        &self.stats
+    }
+
+    /// Signals shutdown and waits for the reactor to drain and exit.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+impl ReactorServer {
+    /// Binds to `addr` (`127.0.0.1:0` for an ephemeral port) with `workers`
+    /// request-processing threads behind the event loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind<A: ToSocketAddrs>(addr: A, workers: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // std listens with backlog 128; a reactor shares one thread between
+        // accepts and I/O, so connection bursts need real queue depth.
+        crate::sys::widen_backlog(listener.as_raw_fd(), ACCEPT_BACKLOG)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            workers: workers.max(1),
+            local_addr,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts the event loop on a background thread; returns a handle for
+    /// shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoll instance or wakeup eventfd cannot be created
+    /// (resource exhaustion at startup).
+    #[must_use]
+    pub fn serve(self, router: Router) -> ReactorHandle {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let waker = Arc::new(Waker::new().expect("create eventfd"));
+        let stats = Arc::new(ReactorStats::default());
+        let addr = self.local_addr;
+        let reactor = Reactor::new(
+            self.listener,
+            self.workers,
+            router,
+            Arc::clone(&shutdown),
+            Arc::clone(&waker),
+            Arc::clone(&stats),
+        );
+        let thread = thread::spawn(move || reactor.run());
+        ReactorHandle {
+            addr,
+            shutdown,
+            waker,
+            stats,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Per-connection lifecycle.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// A parsed request is with the workers (or gathered in a pending
+    /// batch); no epoll interest.
+    Busy,
+    /// A staged response is being written out.
+    Writing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Read accumulation buffer (recycled through the buffer pool).
+    buf: Vec<u8>,
+    /// Staged response bytes (recycled through the buffer pool).
+    out: Vec<u8>,
+    written: usize,
+    since: Instant,
+}
+
+/// Connection storage with generation-tagged slots: a token names a
+/// (slot, generation) pair so completions for closed-and-recycled
+/// connections are recognized as stale and dropped.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    generations: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl Slab {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, conn: Conn) -> u64 {
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.slots[index] = Some(conn);
+                index
+            }
+            None => {
+                self.slots.push(Some(conn));
+                self.generations.push(0);
+                self.slots.len() - 1
+            }
+        };
+        token_of(index, self.generations[index])
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let (index, generation) = parts_of(token);
+        if self.generations.get(index) == Some(&generation) {
+            self.slots.get_mut(index).and_then(Option::as_mut)
+        } else {
+            None
+        }
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let (index, generation) = parts_of(token);
+        if self.generations.get(index) != Some(&generation) {
+            return None;
+        }
+        let conn = self.slots.get_mut(index).and_then(Option::take);
+        if conn.is_some() {
+            self.generations[index] = self.generations[index].wrapping_add(1);
+            self.free.push(index);
+        }
+        conn
+    }
+
+    fn live_tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(index, _)| token_of(index, self.generations[index]))
+            .collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+}
+
+fn token_of(index: usize, generation: u32) -> u64 {
+    (index as u64) | (u64::from(generation) << 32)
+}
+
+fn parts_of(token: u64) -> (usize, u32) {
+    ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
+}
+
+/// A batch being gathered for one batch route.
+struct PendingBatch {
+    entries: Vec<(u64, Request)>,
+    oldest: Instant,
+}
+
+struct Reactor {
+    listener: TcpListener,
+    workers: usize,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    stats: Arc<ReactorStats>,
+    completions: Arc<Mutex<Vec<(u64, Response)>>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        workers: usize,
+        router: Router,
+        shutdown: Arc<AtomicBool>,
+        waker: Arc<Waker>,
+        stats: Arc<ReactorStats>,
+    ) -> Self {
+        Self {
+            listener,
+            workers,
+            router: Arc::new(router),
+            shutdown,
+            waker,
+            stats,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(self) {
+        let Ok(epoll) = Epoll::new() else { return };
+        if self.listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        if epoll
+            .add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
+            .is_err()
+        {
+            return;
+        }
+        let _ = epoll.add(self.waker.raw_fd(), EPOLLIN, WAKER_TOKEN);
+
+        let pool = ThreadPool::new(self.workers);
+        let mut slab = Slab::new();
+        let mut buffer_pool: Vec<Vec<u8>> = Vec::new();
+        let mut pending: Vec<Option<PendingBatch>> =
+            (0..self.router.batch_route_count()).map(|_| None).collect();
+        let mut events = vec![EpollEvent::zeroed(); 1024];
+        let mut accepting = true;
+        // While Some, the listener is deregistered (accept failed with
+        // e.g. EMFILE); re-armed once the deadline passes so a full fd
+        // table degrades to brief accept pauses instead of a busy spin.
+        let mut accept_paused_until: Option<Instant> = None;
+        let mut last_sweep = Instant::now();
+        let mut drain_started: Option<Instant> = None;
+
+        loop {
+            if let Some(deadline) = accept_paused_until {
+                if accepting && Instant::now() >= deadline {
+                    accept_paused_until = None;
+                    let _ = epoll.add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN);
+                }
+            }
+            let mut timeout = self.wait_timeout(&pending, drain_started.is_some());
+            if accept_paused_until.is_some() {
+                timeout = timeout.min(i32::try_from(ACCEPT_BACKOFF.as_millis()).unwrap_or(50));
+            }
+            let ready = epoll.wait(&mut events, Some(timeout)).unwrap_or(0);
+
+            for event in &events[..ready] {
+                match event.token() {
+                    LISTENER_TOKEN => {
+                        if accepting && !self.accept_ready(&epoll, &mut slab, &mut buffer_pool) {
+                            // Resource exhaustion: back off the listener.
+                            let _ = epoll.delete(self.listener.as_raw_fd());
+                            accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                        }
+                    }
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.conn_ready(
+                        &epoll,
+                        &mut slab,
+                        &mut buffer_pool,
+                        &mut pending,
+                        &pool,
+                        token,
+                        event.readiness(),
+                    ),
+                }
+            }
+
+            // Responses computed by the workers since the last pass.
+            let done: Vec<(u64, Response)> =
+                std::mem::take(&mut *self.completions.lock().expect("completions poisoned"));
+            for (token, response) in done {
+                self.stage_response(&epoll, &mut slab, &mut buffer_pool, token, &response);
+            }
+
+            // Flush gathered batches: full batches flushed at push time;
+            // here we flush expired windows, everything on an idle
+            // pipeline, and everything when draining.
+            let idle_pipeline = self.in_flight.load(Ordering::Acquire) == 0;
+            let now = Instant::now();
+            for index in 0..pending.len() {
+                let due = pending[index].as_ref().is_some_and(|batch| {
+                    idle_pipeline
+                        || drain_started.is_some()
+                        || now.duration_since(batch.oldest)
+                            >= self.router.batch_route(index).policy().gather_window
+                });
+                if due {
+                    self.flush_batch(&mut pending, index, &pool);
+                }
+            }
+
+            // Periodic sweep of connections stuck mid-request.
+            if now.duration_since(last_sweep) >= Duration::from_secs(1) {
+                last_sweep = now;
+                for token in slab.live_tokens() {
+                    let expired = slab.get_mut(token).is_some_and(|conn| {
+                        matches!(conn.state, ConnState::Reading)
+                            && now.duration_since(conn.since) > READ_IDLE_TIMEOUT
+                    });
+                    if expired {
+                        self.close_conn(&epoll, &mut slab, &mut buffer_pool, token);
+                    }
+                }
+            }
+
+            // Shutdown: stop accepting, drop half-read connections, then
+            // drain in-flight work and staged writes before exiting.
+            if self.shutdown.load(Ordering::SeqCst) && drain_started.is_none() {
+                drain_started = Some(now);
+                accepting = false;
+                let _ = epoll.delete(self.listener.as_raw_fd());
+                for token in slab.live_tokens() {
+                    let reading = slab
+                        .get_mut(token)
+                        .is_some_and(|conn| matches!(conn.state, ConnState::Reading));
+                    if reading {
+                        self.close_conn(&epoll, &mut slab, &mut buffer_pool, token);
+                    }
+                }
+            }
+            if let Some(started) = drain_started {
+                let drained = pending.iter().all(Option::is_none)
+                    && self.in_flight.load(Ordering::Acquire) == 0
+                    && self
+                        .completions
+                        .lock()
+                        .expect("completions poisoned")
+                        .is_empty()
+                    && slab.is_empty();
+                if drained || now.duration_since(started) > DRAIN_DEADLINE {
+                    break;
+                }
+            }
+        }
+        pool.join();
+    }
+
+    /// Epoll timeout: tight when a gather window is pending, long when
+    /// idle, short while draining.
+    fn wait_timeout(&self, pending: &[Option<PendingBatch>], draining: bool) -> i32 {
+        if draining {
+            return 10;
+        }
+        let mut timeout: i32 = 1_000;
+        let now = Instant::now();
+        for (index, batch) in pending.iter().enumerate() {
+            if let Some(batch) = batch {
+                let window = self.router.batch_route(index).policy().gather_window;
+                let elapsed = now.duration_since(batch.oldest);
+                let remaining = window.saturating_sub(elapsed);
+                // Round up so we never spin on a sub-millisecond remainder.
+                let ms = i32::try_from(remaining.as_millis())
+                    .unwrap_or(i32::MAX)
+                    .max(1);
+                timeout = timeout.min(ms);
+            }
+        }
+        timeout
+    }
+
+    /// Drains the accept queue. Returns `false` when accepting failed in a
+    /// way that warrants backing the listener off (fd exhaustion and
+    /// friends — with level-triggered readiness, leaving the listener
+    /// registered would spin the loop at 100% CPU).
+    fn accept_ready(&self, epoll: &Epoll, slab: &mut Slab, buffer_pool: &mut Vec<Vec<u8>>) -> bool {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn {
+                        stream,
+                        state: ConnState::Reading,
+                        buf: buffer_pool.pop().unwrap_or_default(),
+                        out: buffer_pool.pop().unwrap_or_default(),
+                        written: 0,
+                        since: Instant::now(),
+                    };
+                    let token = slab.insert(conn);
+                    let fd = slab
+                        .get_mut(token)
+                        .expect("just inserted")
+                        .stream
+                        .as_raw_fd();
+                    if epoll.add(fd, EPOLLIN, token).is_err() {
+                        let _ = slab.remove(token);
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                // Per-connection handshake failures are transient; retry.
+                Err(err) if err.kind() == io::ErrorKind::ConnectionAborted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conn_ready(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        pending: &mut [Option<PendingBatch>],
+        pool: &ThreadPool,
+        token: u64,
+        readiness: u32,
+    ) {
+        let Some(conn) = slab.get_mut(token) else {
+            return; // Stale token: connection already recycled.
+        };
+        let state = conn.state;
+        if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(epoll, slab, buffer_pool, token);
+            return;
+        }
+        match state {
+            ConnState::Reading if readiness & EPOLLIN != 0 => {
+                self.read_ready(epoll, slab, buffer_pool, pending, pool, token);
+            }
+            ConnState::Writing if readiness & EPOLLOUT != 0 => {
+                self.write_ready(epoll, slab, buffer_pool, token);
+            }
+            _ => {}
+        }
+    }
+
+    /// Pulls everything currently readable, then tries to frame a request.
+    fn read_ready(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        pending: &mut [Option<PendingBatch>],
+        pool: &ThreadPool,
+        token: u64,
+    ) {
+        let outcome = {
+            let conn = slab.get_mut(token).expect("caller validated token");
+            pull_and_frame(conn)
+        };
+        match outcome {
+            ReadOutcome::Partial => {}
+            ReadOutcome::Closed => self.close_conn(epoll, slab, buffer_pool, token),
+            ReadOutcome::Reject(reason) => {
+                self.finish_with(
+                    epoll,
+                    slab,
+                    buffer_pool,
+                    token,
+                    &Response::bad_request(&reason),
+                );
+            }
+            ReadOutcome::Complete(request) => {
+                self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = slab.get_mut(token) {
+                    conn.state = ConnState::Busy;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = epoll.modify(fd, 0, token);
+                }
+                self.dispatch(epoll, slab, buffer_pool, pending, pool, token, request);
+            }
+        }
+    }
+
+    /// Routes a parsed request: batch routes gather, scalar routes go to
+    /// the pool, and routing misses answer immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        pending: &mut [Option<PendingBatch>],
+        pool: &ThreadPool,
+        token: u64,
+        request: Request,
+    ) {
+        match self.router.resolve(&request) {
+            Resolution::Batched(index) => {
+                let batch = pending[index].get_or_insert_with(|| PendingBatch {
+                    entries: Vec::new(),
+                    oldest: Instant::now(),
+                });
+                batch.entries.push((token, request));
+                if batch.entries.len() >= self.router.batch_route(index).policy().max_batch {
+                    self.flush_batch(pending, index, pool);
+                }
+            }
+            Resolution::Scalar(handler) => {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                let completions = Arc::clone(&self.completions);
+                let waker = Arc::clone(&self.waker);
+                let in_flight = Arc::clone(&self.in_flight);
+                pool.execute(move || {
+                    let response = catch_unwind(AssertUnwindSafe(|| handler(&request)))
+                        .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+                    completions
+                        .lock()
+                        .expect("completions poisoned")
+                        .push((token, response));
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                    waker.wake();
+                });
+            }
+            Resolution::MethodNotAllowed => {
+                self.finish_with(
+                    epoll,
+                    slab,
+                    buffer_pool,
+                    token,
+                    &Response::error(405, "method not allowed"),
+                );
+            }
+            Resolution::NotFound => {
+                self.finish_with(epoll, slab, buffer_pool, token, &Response::not_found());
+            }
+        }
+    }
+
+    /// Hands a gathered batch to the worker pool as one handler call.
+    fn flush_batch(&self, pending: &mut [Option<PendingBatch>], index: usize, pool: &ThreadPool) {
+        let Some(batch) = pending[index].take() else {
+            return;
+        };
+        let (tokens, requests): (Vec<u64>, Vec<Request>) = batch.entries.into_iter().unzip();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .batched_requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let route: Arc<BatchRoute> = Arc::clone(self.router.batch_route(index));
+        let completions = Arc::clone(&self.completions);
+        let waker = Arc::clone(&self.waker);
+        let in_flight = Arc::clone(&self.in_flight);
+        pool.execute(move || {
+            let responses =
+                catch_unwind(AssertUnwindSafe(|| route.run(&requests))).unwrap_or_else(|_| {
+                    (0..tokens.len())
+                        .map(|_| Response::error(500, "batch handler panicked"))
+                        .collect()
+                });
+            let mut queue = completions.lock().expect("completions poisoned");
+            for (token, response) in tokens.into_iter().zip(responses) {
+                queue.push((token, response));
+            }
+            drop(queue);
+            in_flight.fetch_sub(1, Ordering::AcqRel);
+            waker.wake();
+        });
+    }
+
+    /// Stages a worker-produced response onto its (still live) connection.
+    fn stage_response(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        token: u64,
+        response: &Response,
+    ) {
+        if slab.get_mut(token).is_none() {
+            return; // Connection died while the response was computed.
+        }
+        self.finish_with(epoll, slab, buffer_pool, token, response);
+    }
+
+    /// Serializes `response` into the connection's write buffer and starts
+    /// (and usually completes) the write.
+    fn finish_with(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        token: u64,
+        response: &Response,
+    ) {
+        let Some(conn) = slab.get_mut(token) else {
+            return;
+        };
+        conn.out.clear();
+        response.write_into(&mut conn.out);
+        conn.written = 0;
+        conn.state = ConnState::Writing;
+        conn.since = Instant::now();
+        self.write_ready(epoll, slab, buffer_pool, token);
+    }
+
+    /// Writes as much of the staged response as the socket accepts;
+    /// closes on completion, re-arms `EPOLLOUT` on short writes.
+    fn write_ready(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        token: u64,
+    ) {
+        let outcome = {
+            let Some(conn) = slab.get_mut(token) else {
+                return;
+            };
+            push_staged(conn)
+        };
+        match outcome {
+            WriteOutcome::Blocked(fd) => {
+                let _ = epoll.modify(fd, EPOLLOUT, token);
+            }
+            WriteOutcome::Done | WriteOutcome::Failed => {
+                self.close_conn(epoll, slab, buffer_pool, token);
+            }
+        }
+    }
+
+    /// Tears a connection down and recycles its buffers.
+    #[allow(clippy::unused_self)]
+    fn close_conn(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        token: u64,
+    ) {
+        if let Some(mut conn) = slab.remove(token) {
+            let _ = epoll.delete(conn.stream.as_raw_fd());
+            for mut buf in [std::mem::take(&mut conn.buf), std::mem::take(&mut conn.out)] {
+                if buffer_pool.len() < BUFFER_POOL_CAP && buf.capacity() <= BUFFER_RECYCLE_MAX {
+                    buf.clear();
+                    buffer_pool.push(buf);
+                }
+            }
+        }
+    }
+}
+
+/// Result of draining a readable socket into its accumulation buffer.
+enum ReadOutcome {
+    /// No complete request yet; keep the connection in `Reading`.
+    Partial,
+    /// Peer closed or the socket failed; drop the connection.
+    Closed,
+    /// The buffer can never become a valid request; answer 400.
+    Reject(String),
+    /// A full request was framed.
+    Complete(Request),
+}
+
+/// Reads everything currently available, then attempts to frame a request.
+fn pull_and_frame(conn: &mut Conn) -> ReadOutcome {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut eof = false;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer half-closed its write side. A complete request may
+                // already be buffered (shutdown-after-send is a legal
+                // `Connection: close` client pattern) — fall through to
+                // framing instead of dropping it.
+                eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                // Progress resets the idle clock: the sweep drops stalled
+                // connections, not slow-but-active ones.
+                conn.since = Instant::now();
+                if conn.buf.len() > MAX_CONN_BUF {
+                    return ReadOutcome::Reject("request too large".to_owned());
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    match Request::try_parse(&conn.buf) {
+        // EOF with an incomplete frame can never complete: drop it.
+        Ok(None) if eof => ReadOutcome::Closed,
+        Ok(None) => ReadOutcome::Partial,
+        Ok(Some((request, _consumed))) => ReadOutcome::Complete(request),
+        Err(reason) => ReadOutcome::Reject(reason),
+    }
+}
+
+/// Result of pushing staged response bytes to the socket.
+enum WriteOutcome {
+    /// Everything written; close the connection (`Connection: close`).
+    Done,
+    /// Socket buffer full; re-arm `EPOLLOUT` on this fd.
+    Blocked(std::os::fd::RawFd),
+    /// The socket failed; drop the connection.
+    Failed,
+}
+
+/// Writes staged bytes until done or the socket stops accepting.
+fn push_staged(conn: &mut Conn) -> WriteOutcome {
+    loop {
+        if conn.written >= conn.out.len() {
+            return WriteOutcome::Done;
+        }
+        match conn.stream.write(&conn.out[conn.written..]) {
+            Ok(0) => return WriteOutcome::Failed,
+            Ok(n) => conn.written += n,
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                return WriteOutcome::Blocked(conn.stream.as_raw_fd());
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return WriteOutcome::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::router::BatchPolicy;
+
+    fn ping_router() -> Router {
+        let mut router = Router::new();
+        router.get("/ping", |_| Response::ok("text/plain", b"pong".to_vec()));
+        router.get("/echo", |req: &Request| {
+            let msg = req.query_param("msg").unwrap_or("").to_owned();
+            Response::ok("text/plain", msg.into_bytes())
+        });
+        router
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let server = ReactorServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let client = HttpClient::new(addr);
+        let response = client.get("/ping").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"pong");
+
+        let response = client.get("/echo?msg=hello").unwrap();
+        assert_eq!(response.body, b"hello");
+
+        let response = client.get("/missing").unwrap();
+        assert_eq!(response.status, 404);
+
+        assert!(handle.request_count() >= 3);
+        handle.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = ReactorServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut joins = Vec::new();
+        for _ in 0..32 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let response = client.get("/ping").unwrap();
+                assert_eq!(response.status, 200);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(handle.request_count() >= 32);
+        handle.stop();
+    }
+
+    #[test]
+    fn batch_route_coalesces_concurrent_requests() {
+        // Deterministic gathering: two slow scalar requests occupy both
+        // workers, so the batch route's requests pile up (the pipeline is
+        // never idle and the gather window is far away) and flush together
+        // once the workers free up.
+        let mut router = Router::new();
+        router.get("/slow", |_| {
+            thread::sleep(Duration::from_millis(500));
+            Response::ok("text/plain", b"slow".to_vec())
+        });
+        router.get_batched(
+            "/batch/",
+            BatchPolicy {
+                max_batch: 64,
+                gather_window: Duration::from_secs(10),
+            },
+            |requests| {
+                requests
+                    .iter()
+                    .map(|r| {
+                        let uid = r.query_param("uid").unwrap_or("?");
+                        Response::ok("text/plain", format!("u{uid}").into_bytes())
+                    })
+                    .collect()
+            },
+        );
+        let server = ReactorServer::bind("127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                assert_eq!(client.get("/slow").unwrap().status, 200);
+            }));
+        }
+        // Give the slow requests time to reach the workers.
+        thread::sleep(Duration::from_millis(100));
+        for uid in 0..24u32 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let response = client.get(&format!("/batch/?uid={uid}")).unwrap();
+                assert_eq!(response.status, 200);
+                assert_eq!(response.body, format!("u{uid}").into_bytes());
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.batched_requests(), 24);
+        assert!(stats.batches() >= 1);
+        // The 24 requests gathered while the workers were busy; even
+        // allowing stragglers, they must have coalesced into far fewer
+        // flushes than requests.
+        assert!(
+            stats.batches() <= 4,
+            "coalescing regressed: {} batches for 24 requests",
+            stats.batches()
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn half_closed_client_still_gets_a_response() {
+        // shutdown(SHUT_WR) after sending is a legal Connection: close
+        // client pattern; the buffered request must still be served.
+        use std::io::{Read as _, Write as _};
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+        assert!(response.ends_with("pong"), "got: {response}");
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read as _, Write as _};
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+        handle.stop();
+    }
+
+    #[test]
+    fn wrong_method_and_missing_route_status_codes() {
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+        let client = HttpClient::new(addr);
+        assert_eq!(client.post("/ping", b"x").unwrap().status, 405);
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        handle.stop();
+    }
+
+    #[test]
+    fn stop_terminates_event_loop() {
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+        handle.stop();
+        let client = HttpClient::new(addr);
+        assert!(client.get("/ping").is_err());
+    }
+
+    #[test]
+    fn idle_connections_do_not_block_shutdown() {
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+        // Open a connection and send nothing.
+        let _idle = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        handle.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown hung on an idle connection"
+        );
+    }
+
+    #[test]
+    fn large_response_survives_partial_writes() {
+        // A body far beyond any socket buffer exercises the EPOLLOUT path.
+        let big = vec![b'x'; 8 * 1024 * 1024];
+        let expected = big.clone();
+        let mut router = Router::new();
+        router.get("/big", move |_| Response::ok("text/plain", big.clone()));
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+        let client = HttpClient::new(addr).with_timeout(Duration::from_secs(30));
+        let response = client.get("/big").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, expected);
+        handle.stop();
+    }
+}

@@ -138,6 +138,66 @@ impl Request {
             body,
         })
     }
+
+    /// Incremental parse over an accumulation buffer — the reactor's
+    /// nonblocking read path.
+    ///
+    /// Returns `Ok(None)` when `buf` does not yet hold a complete request
+    /// (read more and call again), `Ok(Some((request, consumed)))` when a
+    /// full request occupies the first `consumed` bytes, and `Err` when the
+    /// buffer can never become a valid request (oversized or malformed —
+    /// respond 400 and close).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on malformed or oversized input.
+    pub fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, String> {
+        // Locate the end of the header block.
+        let Some(head_end) = find_subsequence(buf, b"\r\n\r\n") else {
+            if buf.len() > MAX_HEADER_BYTES {
+                return Err("header block too large".to_owned());
+            }
+            return Ok(None);
+        };
+        if head_end > MAX_HEADER_BYTES {
+            return Err("header block too large".to_owned());
+        }
+        // Light scan for Content-Length to learn the total frame size; an
+        // invalid value falls through to the full parser, which rejects it.
+        let body_len = content_length(&buf[..head_end]).unwrap_or(0);
+        if body_len > MAX_BODY_BYTES {
+            return Err("body too large".to_owned());
+        }
+        let total = head_end + 4 + body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        Self::parse(&buf[..total]).map(|request| Some((request, total)))
+    }
+}
+
+/// First offset of `needle` in `haystack`, if any.
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Extracts `Content-Length` from a raw header block (case-insensitive,
+/// last occurrence wins — matching the full parser's header-map semantics).
+fn content_length(head: &[u8]) -> Option<usize> {
+    let mut found = None;
+    for line in head.split(|&b| b == b'\n') {
+        let Ok(line) = std::str::from_utf8(line) else {
+            continue;
+        };
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                found = value.trim().parse().ok();
+            }
+        }
+    }
+    found
 }
 
 /// Decodes `k=v&k2=v2` with percent-encoding and `+`-as-space.
@@ -242,6 +302,49 @@ mod tests {
         assert!(parse_str("GET /x\r\n\r\n").is_err());
         assert!(parse_str("GET /x SPDY/3\r\n\r\n").is_err());
         assert!(parse_str("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn try_parse_incremental_framing() {
+        let full = b"POST /neighbors/ HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloEXTRA";
+        // Every strict prefix of the frame is Partial.
+        for cut in 0..full.len() - 5 {
+            assert_eq!(
+                Request::try_parse(&full[..cut]).unwrap(),
+                None,
+                "cut at {cut}"
+            );
+        }
+        // The complete frame parses and reports the consumed length,
+        // excluding trailing pipelined bytes.
+        let (request, consumed) = Request::try_parse(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len() - 5);
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn try_parse_no_body_and_case_insensitive_length() {
+        let raw = b"GET /online/?uid=3 HTTP/1.1\r\nhost: x\r\n\r\n";
+        let (request, consumed) = Request::try_parse(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.query_param("uid"), Some("3"));
+
+        let raw = b"POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok";
+        let (request, _) = Request::try_parse(raw).unwrap().unwrap();
+        assert_eq!(request.body, b"ok");
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_and_malformed() {
+        // Unterminated header block beyond the cap is an error, not Partial.
+        let huge = vec![b'a'; MAX_HEADER_BYTES + 1];
+        assert!(Request::try_parse(&huge).is_err());
+        // Declared body beyond the cap is rejected before buffering it.
+        let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(Request::try_parse(raw.as_bytes()).is_err());
+        // A malformed request line errors once the header block is complete.
+        assert!(Request::try_parse(b"NONSENSE\r\n\r\n").is_err());
     }
 
     #[test]

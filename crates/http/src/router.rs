@@ -1,13 +1,100 @@
-//! Path-prefix routing.
+//! Path-prefix routing, with optional *batch routes* for request
+//! coalescing.
+//!
+//! A scalar route handles one request at a time. A **batch route** declares
+//! that concurrent requests to the same endpoint may be gathered (up to a
+//! cap, within a gather window) and handed to one handler call — the hook
+//! the reactor front-end uses to funnel `/online/` bursts into a single
+//! `HyRecServer::build_jobs` call. On the thread-per-connection server a
+//! batch route simply runs with batches of one, so the two server
+//! front-ends share one router type.
 
 use crate::request::Request;
 use crate::response::Response;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A request handler.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
+/// A batched request handler: must return exactly one response per request,
+/// in input order.
+pub type BatchHandler = Arc<dyn Fn(&[Request]) -> Vec<Response> + Send + Sync>;
+
+/// Coalescing parameters of a batch route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush when the oldest pending request has waited this long (the
+    /// reactor also flushes early whenever the event loop goes quiescent,
+    /// so lightly-loaded servers do not pay the window as latency).
+    pub gather_window: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self {
+            max_batch: 128,
+            gather_window: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A coalescable route: prefix + policy + batched handler.
+pub struct BatchRoute {
+    method: String,
+    prefix: String,
+    policy: BatchPolicy,
+    handler: BatchHandler,
+}
+
+impl BatchRoute {
+    /// The coalescing parameters.
+    #[must_use]
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Runs the handler on a gathered batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handler breaks the one-response-per-request contract.
+    #[must_use]
+    pub fn run(&self, requests: &[Request]) -> Vec<Response> {
+        let responses = (self.handler)(requests);
+        assert_eq!(
+            responses.len(),
+            requests.len(),
+            "batch handler for {} returned {} responses for {} requests",
+            self.prefix,
+            responses.len(),
+            requests.len()
+        );
+        responses
+    }
+}
+
+/// How a request resolves against the routing table.
+pub enum Resolution {
+    /// A scalar route matched.
+    Scalar(Handler),
+    /// A batch route matched; the index is stable and usable with
+    /// [`Router::batch_route`].
+    Batched(usize),
+    /// A path matched but with a different method.
+    MethodNotAllowed,
+    /// Nothing matched.
+    NotFound,
+}
+
 /// Longest-prefix router.
+///
+/// A prefix registered with a trailing slash also matches the bare path:
+/// `/online/` matches `/online` (and vice versa `/online` matches
+/// `/online/...` by ordinary prefixing), so clients may omit or include the
+/// trailing slash interchangeably.
 ///
 /// ```
 /// use hyrec_http::{Request, Response, Router};
@@ -20,12 +107,34 @@ pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 #[derive(Clone, Default)]
 pub struct Router {
     routes: Vec<(String, String, Handler)>,
+    batch_routes: Vec<Arc<BatchRoute>>,
 }
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let paths: Vec<&str> = self.routes.iter().map(|(_, p, _)| p.as_str()).collect();
-        f.debug_struct("Router").field("routes", &paths).finish()
+        let batched: Vec<&str> = self
+            .batch_routes
+            .iter()
+            .map(|r| r.prefix.as_str())
+            .collect();
+        f.debug_struct("Router")
+            .field("routes", &paths)
+            .field("batch_routes", &batched)
+            .finish()
+    }
+}
+
+/// Whether `path` falls under `prefix`, treating a trailing-slash prefix
+/// and its bare form as the same endpoint. A bare prefix only matches on a
+/// segment boundary (`/rate` matches `/rate` and `/rate/…`, never
+/// `/ratex`).
+fn path_matches(prefix: &str, path: &str) -> bool {
+    if prefix.ends_with('/') {
+        path.starts_with(prefix) || path == &prefix[..prefix.len() - 1]
+    } else {
+        path.strip_prefix(prefix)
+            .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
     }
 }
 
@@ -65,27 +174,118 @@ impl Router {
         self
     }
 
-    /// Dispatches a request to the longest matching prefix; `404` when
-    /// nothing matches, `405` when the path matches but the method does
-    /// not.
+    /// Registers a coalescable `GET` route: the reactor gathers concurrent
+    /// requests per `policy` and hands them to `handler` as one batch.
+    pub fn get_batched<F>(&mut self, prefix: &str, policy: BatchPolicy, handler: F) -> &mut Self
+    where
+        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
+    {
+        self.route_batched("GET", prefix, policy, handler)
+    }
+
+    /// Registers a coalescable `POST` route.
+    pub fn post_batched<F>(&mut self, prefix: &str, policy: BatchPolicy, handler: F) -> &mut Self
+    where
+        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
+    {
+        self.route_batched("POST", prefix, policy, handler)
+    }
+
+    /// Registers a coalescable route for an arbitrary method.
+    pub fn route_batched<F>(
+        &mut self,
+        method: &str,
+        prefix: &str,
+        policy: BatchPolicy,
+        handler: F,
+    ) -> &mut Self
+    where
+        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
+    {
+        self.batch_routes.push(Arc::new(BatchRoute {
+            method: method.to_ascii_uppercase(),
+            prefix: prefix.to_owned(),
+            policy,
+            handler: Arc::new(handler),
+        }));
+        self
+    }
+
+    /// Number of registered batch routes.
     #[must_use]
-    pub fn dispatch(&self, request: &Request) -> Response {
-        let mut best: Option<&(String, String, Handler)> = None;
+    pub fn batch_route_count(&self) -> usize {
+        self.batch_routes.len()
+    }
+
+    /// The batch route at `index` (as returned by
+    /// [`Resolution::Batched`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn batch_route(&self, index: usize) -> &Arc<BatchRoute> {
+        &self.batch_routes[index]
+    }
+
+    /// Resolves a request against scalar and batch routes combined,
+    /// longest prefix first.
+    #[must_use]
+    pub fn resolve(&self, request: &Request) -> Resolution {
+        let mut best_scalar: Option<&(String, String, Handler)> = None;
+        let mut best_batch: Option<(usize, &BatchRoute)> = None;
         let mut path_matched = false;
         for route in &self.routes {
             let (method, prefix, _) = route;
-            if request.path.starts_with(prefix.as_str()) {
+            if path_matches(prefix, &request.path) {
                 path_matched = true;
-                if *method == request.method && best.is_none_or(|(_, b, _)| prefix.len() > b.len())
+                if *method == request.method
+                    && best_scalar.is_none_or(|(_, b, _)| prefix.len() > b.len())
                 {
-                    best = Some(route);
+                    best_scalar = Some(route);
                 }
             }
         }
-        match best {
-            Some((_, _, handler)) => handler(request),
-            None if path_matched => Response::error(405, "method not allowed"),
-            None => Response::not_found(),
+        for (index, route) in self.batch_routes.iter().enumerate() {
+            if path_matches(&route.prefix, &request.path) {
+                path_matched = true;
+                if route.method == request.method
+                    && best_batch.is_none_or(|(_, b)| route.prefix.len() > b.prefix.len())
+                {
+                    best_batch = Some((index, route));
+                }
+            }
+        }
+        match (best_scalar, best_batch) {
+            // Between a scalar and a batch match, the longer prefix wins;
+            // ties go to the batch route (more specific intent).
+            (Some((_, prefix, handler)), Some((index, batch))) => {
+                if prefix.len() > batch.prefix.len() {
+                    Resolution::Scalar(Arc::clone(handler))
+                } else {
+                    Resolution::Batched(index)
+                }
+            }
+            (Some((_, _, handler)), None) => Resolution::Scalar(Arc::clone(handler)),
+            (None, Some((index, _))) => Resolution::Batched(index),
+            (None, None) if path_matched => Resolution::MethodNotAllowed,
+            (None, None) => Resolution::NotFound,
+        }
+    }
+
+    /// Dispatches a request to the longest matching prefix; `404` when
+    /// nothing matches, `405` when the path matches but the method does
+    /// not. Batch routes run with a batch of one.
+    #[must_use]
+    pub fn dispatch(&self, request: &Request) -> Response {
+        match self.resolve(request) {
+            Resolution::Scalar(handler) => handler(request),
+            Resolution::Batched(index) => {
+                let mut responses = self.batch_routes[index].run(std::slice::from_ref(request));
+                responses.pop().expect("one response per request")
+            }
+            Resolution::MethodNotAllowed => Response::error(405, "method not allowed"),
+            Resolution::NotFound => Response::not_found(),
         }
     }
 }
@@ -133,5 +333,77 @@ mod tests {
         router.post("/dual", |_| Response::ok("text/plain", b"post".to_vec()));
         assert_eq!(router.dispatch(&req("GET", "/dual")).body, b"get");
         assert_eq!(router.dispatch(&req("POST", "/dual")).body, b"post");
+    }
+
+    #[test]
+    fn trailing_slash_routes_are_equivalent() {
+        // Regression: `/online/` registered, `/online` requested (and the
+        // mirror case). The seed router was trailing-slash sensitive.
+        let mut router = Router::new();
+        router.get("/online/", |_| Response::ok("text/plain", b"on".to_vec()));
+        router.get("/rate", |_| Response::ok("text/plain", b"rt".to_vec()));
+
+        assert_eq!(router.dispatch(&req("GET", "/online/")).body, b"on");
+        assert_eq!(router.dispatch(&req("GET", "/online")).body, b"on");
+        assert_eq!(router.dispatch(&req("GET", "/online/?uid=1")).body, b"on");
+        assert_eq!(router.dispatch(&req("GET", "/rate")).body, b"rt");
+        assert_eq!(router.dispatch(&req("GET", "/rate/")).body, b"rt");
+        // But unrelated longer segments must not match the bare form.
+        assert_eq!(router.dispatch(&req("GET", "/onlinex")).status, 404);
+        assert_eq!(router.dispatch(&req("GET", "/ratex")).status, 404);
+    }
+
+    #[test]
+    fn batch_route_dispatches_scalar_as_batch_of_one() {
+        let mut router = Router::new();
+        router.get_batched("/batch/", BatchPolicy::default(), |requests| {
+            requests
+                .iter()
+                .map(|r| {
+                    let uid = r.query_param("uid").unwrap_or("?");
+                    Response::ok("text/plain", format!("batched:{uid}").into_bytes())
+                })
+                .collect()
+        });
+        assert_eq!(
+            router.dispatch(&req("GET", "/batch/?uid=7")).body,
+            b"batched:7"
+        );
+        assert_eq!(router.dispatch(&req("POST", "/batch/")).status, 405);
+        assert_eq!(router.batch_route_count(), 1);
+    }
+
+    #[test]
+    fn batch_route_resolution_and_run() {
+        let mut router = Router::new();
+        router.get("/a/", |_| Response::ok("text/plain", b"scalar".to_vec()));
+        router.get_batched("/a/deeper/", BatchPolicy::default(), |requests| {
+            vec![Response::ok("text/plain", b"batch".to_vec()); requests.len()]
+        });
+        // Longest prefix wins across kinds.
+        match router.resolve(&req("GET", "/a/deeper/x")) {
+            Resolution::Batched(index) => {
+                let out = router
+                    .batch_route(index)
+                    .run(&[req("GET", "/a/deeper/x"), req("GET", "/a/deeper/y")]);
+                assert_eq!(out.len(), 2);
+                assert_eq!(out[0].body, b"batch");
+            }
+            _ => panic!("expected batch resolution"),
+        }
+        match router.resolve(&req("GET", "/a/only")) {
+            Resolution::Scalar(handler) => {
+                assert_eq!(handler(&req("GET", "/a/only")).body, b"scalar");
+            }
+            _ => panic!("expected scalar resolution"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch handler")]
+    fn batch_handler_arity_is_enforced() {
+        let mut router = Router::new();
+        router.get_batched("/bad/", BatchPolicy::default(), |_| Vec::new());
+        let _ = router.dispatch(&req("GET", "/bad/"));
     }
 }

@@ -1,0 +1,220 @@
+//! Coalescing equivalence: traffic served through the reactor front-end's
+//! gather-and-batch path must be **byte-identical** to the scalar
+//! `build_job` + encode pipeline.
+//!
+//! The populations here disable the sampler's random leg
+//! (`random_candidates = 0`), which makes every personalization job a pure
+//! function of table state — so concurrent arrival order (which the OS
+//! scheduler controls) cannot change any response, and each client's body
+//! can be checked against a twin server driven scalarly.
+
+use hyrec_core::{ItemId, Neighbor, Neighborhood, UserId, Vote};
+use hyrec_http::api;
+use hyrec_http::{BatchPolicy, HttpClient, ReactorServer};
+use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const USERS: u32 = 48;
+const K: usize = 4;
+
+/// A deterministic population: dense profiles in five taste groups and a
+/// warm ring-shaped KNN table. No RNG is consumed building jobs.
+fn populated_server() -> Arc<HyRecServer> {
+    let server = HyRecServer::with_config(
+        HyRecConfig::builder()
+            .k(K)
+            .r(5)
+            .random_candidates(0)
+            .anonymize_users(false)
+            .seed(77)
+            .build(),
+    );
+    for u in 0..USERS {
+        for i in 0..10u32 {
+            server.record(UserId(u), ItemId((u % 5) * 100 + i), Vote::Like);
+        }
+    }
+    for u in 0..USERS {
+        let hood = Neighborhood::from_neighbors((1..=K as u32).map(|d| Neighbor {
+            user: UserId((u + d) % USERS),
+            similarity: 0.5,
+        }));
+        server.knn_table().update(UserId(u), hood);
+    }
+    Arc::new(server)
+}
+
+fn spawn_reactor(server: &Arc<HyRecServer>) -> (hyrec_http::reactor::ReactorHandle, HttpClient) {
+    let policy = BatchPolicy {
+        max_batch: 32,
+        gather_window: Duration::from_millis(2),
+    };
+    let router = api::hyrec_router_with(Arc::clone(server), Arc::new(JobEncoder::new()), policy);
+    let http = ReactorServer::bind("127.0.0.1:0", 2).expect("bind reactor");
+    let addr = http.local_addr();
+    let handle = http.serve(router);
+    (handle, HttpClient::new(addr))
+}
+
+#[test]
+fn concurrent_online_bodies_match_sequential_scalar_path() {
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client) = spawn_reactor(&live);
+
+    // Expected bodies from the scalar pipeline: build_job + encode per
+    // user, on the twin.
+    let twin_encoder = JobEncoder::new();
+    let expected: Vec<Vec<u8>> = (0..USERS)
+        .map(|u| twin_encoder.encode(&twin.build_job(UserId(u))))
+        .collect();
+
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        let expected_body = expected[u as usize].clone();
+        joins.push(thread::spawn(move || {
+            let response = client.get(&format!("/online/?uid={u}")).expect("online");
+            assert_eq!(response.status, 200);
+            assert_eq!(
+                response.body, expected_body,
+                "coalesced body diverged for uid {u}"
+            );
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // Every request went through the batch route, and the server really
+    // did coalesce (fewer flushes than requests is expected but not
+    // guaranteed under scheduling; the hard assertions are above).
+    let stats = handle.stats();
+    assert_eq!(stats.batched_requests(), u64::from(USERS));
+    assert!(stats.batches() >= 1);
+    assert_eq!(live.requests_served(), u64::from(USERS));
+    handle.stop();
+}
+
+#[test]
+fn interleaved_rate_and_online_traffic_matches_scalar_path() {
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client) = spawn_reactor(&live);
+
+    // Phase 1 — a concurrent burst of votes: one new like and one flip per
+    // user. Each user touches only their own profile, so cross-user arrival
+    // order is immaterial and the twin can ingest scalarly.
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        joins.push(thread::spawn(move || {
+            let fresh = client
+                .get(&format!("/rate/?uid={u}&item={}&like=1", 1000 + u))
+                .expect("rate like");
+            assert_eq!(fresh.status, 200);
+            assert!(
+                String::from_utf8_lossy(&fresh.body).contains("\"changed\":true"),
+                "new like must change the profile"
+            );
+            let flip = client
+                .get(&format!("/rate/?uid={u}&item={}&like=0", (u % 5) * 100))
+                .expect("rate flip");
+            assert_eq!(flip.status, 200);
+            assert!(String::from_utf8_lossy(&flip.body).contains("\"changed\":true"));
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for u in 0..USERS {
+        assert!(twin.record(UserId(u), ItemId(1000 + u), Vote::Like));
+        assert!(twin.record(UserId(u), ItemId((u % 5) * 100), Vote::Dislike));
+    }
+
+    // Phase 2 — a concurrent burst of job requests against the mutated
+    // tables, checked byte-for-byte against the twin's scalar pipeline.
+    let twin_encoder = JobEncoder::new();
+    let expected: Vec<Vec<u8>> = (0..USERS)
+        .map(|u| twin_encoder.encode(&twin.build_job(UserId(u))))
+        .collect();
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        let expected_body = expected[u as usize].clone();
+        joins.push(thread::spawn(move || {
+            let response = client.get(&format!("/online/?uid={u}")).expect("online");
+            assert_eq!(response.status, 200);
+            assert_eq!(
+                response.body, expected_body,
+                "post-ingest body diverged for uid {u}"
+            );
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    // The coalesced ingest produced identical profile state.
+    for u in 0..USERS {
+        assert_eq!(
+            live.profile_of(UserId(u)),
+            twin.profile_of(UserId(u)),
+            "profile diverged for uid {u}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn concurrent_knn_posts_match_scalar_apply() {
+    use hyrec_client::Widget;
+
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client) = spawn_reactor(&live);
+
+    // Widgets compute deterministic updates from twin-built jobs, then
+    // report them back concurrently through the coalesced POST /neighbors/.
+    let widget = Widget::new();
+    let updates: Vec<_> = (0..USERS)
+        .map(|u| widget.run_job(&twin.build_job(UserId(u))).update)
+        .collect();
+
+    let mut joins = Vec::new();
+    for update in updates.clone() {
+        joins.push(thread::spawn(move || {
+            let response = client
+                .post("/neighbors/", &update.encode())
+                .expect("post update");
+            assert_eq!(response.status, 200);
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for update in &updates {
+        twin.apply_update(update);
+    }
+    for u in 0..USERS {
+        assert_eq!(
+            live.knn_of(UserId(u)),
+            twin.knn_of(UserId(u)),
+            "knn diverged for uid {u}"
+        );
+    }
+    assert_eq!(live.updates_applied(), twin.updates_applied());
+    handle.stop();
+}
+
+#[test]
+fn trailing_slash_forms_are_equivalent_over_the_reactor() {
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client) = spawn_reactor(&live);
+    let twin_encoder = JobEncoder::new();
+    let expected = twin_encoder.encode(&twin.build_job(UserId(3)));
+    let response = client.get("/online?uid=3").expect("bare path");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.body, expected);
+    handle.stop();
+}

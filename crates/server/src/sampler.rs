@@ -28,10 +28,20 @@ pub struct SamplerContext<'a> {
 ///
 /// The profile table shards make "pick a uniformly random user" awkward;
 /// this directory keeps a flat list, which also matches the paper's server
-/// that knows the full user population.
+/// that knows the full user population. Registration is idempotent — a
+/// membership set lives under the same lock as the list — so racing
+/// first-vote ingest paths (two coalesced `/rate/` batches carrying the
+/// same new user on different workers) cannot double-weight a user in the
+/// sampler's random leg.
 #[derive(Debug, Default)]
 pub struct UserDirectory {
-    users: RwLock<Vec<UserId>>,
+    inner: RwLock<DirectoryInner>,
+}
+
+#[derive(Debug, Default)]
+struct DirectoryInner {
+    list: Vec<UserId>,
+    members: hyrec_core::FastHashSet<UserId>,
 }
 
 impl UserDirectory {
@@ -41,28 +51,31 @@ impl UserDirectory {
         Self::default()
     }
 
-    /// Registers a user; duplicates are the caller's responsibility
-    /// (the server registers exactly once per new profile).
+    /// Registers a user; duplicate registrations are no-ops.
     pub fn register(&self, user: UserId) {
-        self.users.write().push(user);
+        let mut inner = self.inner.write();
+        if inner.members.insert(user) {
+            inner.list.push(user);
+        }
     }
 
     /// Number of registered users.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.users.read().len()
+        self.inner.read().list.len()
     }
 
     /// True when no user is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.users.read().is_empty()
+        self.inner.read().list.is_empty()
     }
 
     /// Draws up to `n` users uniformly at random (with replacement across
     /// draws, deduplicated by the candidate set downstream).
     pub fn random_users(&self, n: usize, rng: &mut StdRng) -> Vec<UserId> {
-        let users = self.users.read();
+        let inner = self.inner.read();
+        let users = &inner.list;
         if users.is_empty() {
             return Vec::new();
         }
@@ -83,7 +96,8 @@ impl UserDirectory {
         groups: usize,
         rng: &mut StdRng,
     ) -> Vec<Vec<UserId>> {
-        let users = self.users.read();
+        let inner = self.inner.read();
+        let users = &inner.list;
         if users.is_empty() {
             return vec![Vec::new(); groups];
         }
@@ -99,7 +113,7 @@ impl UserDirectory {
     /// Snapshot of all registered users.
     #[must_use]
     pub fn snapshot(&self) -> Vec<UserId> {
-        self.users.read().clone()
+        self.inner.read().list.clone()
     }
 }
 
@@ -495,6 +509,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let set = DefaultSampler.sample(UserId(0), 2, 0, &ctx, &mut rng);
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn directory_registration_is_idempotent() {
+        // Racing first-vote paths may register the same user twice; the
+        // directory must not double-weight them in the random leg.
+        let directory = UserDirectory::new();
+        for _ in 0..3 {
+            directory.register(UserId(7));
+        }
+        directory.register(UserId(8));
+        assert_eq!(directory.len(), 2);
+        assert_eq!(directory.snapshot(), vec![UserId(7), UserId(8)]);
     }
 
     #[test]

@@ -117,6 +117,27 @@ impl HyRecServer {
         self.profiles.record(user, item, vote)
     }
 
+    /// Batched [`Self::record`]: ingests a burst of votes through
+    /// [`ProfileTable::record_many`], which takes each touched shard's write
+    /// lock once for the whole batch instead of once per vote.
+    ///
+    /// Semantically identical to `votes.iter().map(|&(u, i, v)|
+    /// self.record(u, i, v))`: change flags come back in input order and new
+    /// users are registered in first-occurrence order, so the user directory
+    /// (which feeds the sampler's random leg) ends up byte-identical to the
+    /// sequential path. This is the ingestion entry point for coalescing
+    /// front-ends staging `/rate/` traffic.
+    #[must_use]
+    pub fn record_many(&self, votes: &[(UserId, ItemId, Vote)]) -> Vec<bool> {
+        let mut seen = hyrec_core::FastHashSet::default();
+        for &(user, _, _) in votes {
+            if seen.insert(user) && !self.profiles.contains(user) {
+                self.directory.register(user);
+            }
+        }
+        self.profiles.record_many(votes)
+    }
+
     /// Number of users known to the server.
     #[must_use]
     pub fn user_count(&self) -> usize {
@@ -648,6 +669,35 @@ mod tests {
         server.apply_updates(&[]);
         assert_eq!(server.requests_served(), 0);
         assert_eq!(server.updates_applied(), 0);
+    }
+
+    #[test]
+    fn record_many_matches_sequential_record() {
+        let batched = HyRecServer::with_config(HyRecConfig::builder().k(3).seed(21).build());
+        let sequential = HyRecServer::with_config(HyRecConfig::builder().k(3).seed(21).build());
+        let votes: Vec<(UserId, ItemId, Vote)> = (0..300u32)
+            .map(|i| {
+                let vote = if i % 4 == 0 {
+                    Vote::Dislike
+                } else {
+                    Vote::Like
+                };
+                (UserId(i % 23), ItemId(i % 9), vote)
+            })
+            .collect();
+        let batch_flags = batched.record_many(&votes);
+        let seq_flags: Vec<bool> = votes
+            .iter()
+            .map(|&(user, item, vote)| sequential.record(user, item, vote))
+            .collect();
+        assert_eq!(batch_flags, seq_flags);
+        assert_eq!(batched.user_count(), sequential.user_count());
+        // Directory registration order matters for the random sampler leg:
+        // identically-seeded servers must build identical jobs afterwards.
+        let users: Vec<UserId> = (0..23u32).map(UserId).collect();
+        for &user in &users {
+            assert_eq!(batched.build_job(user), sequential.build_job(user));
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! measures latency as concurrency grows.
 
 use hyrec_core::{recommend, ItemId, Neighbor, Neighborhood, UserId, Vote};
-use hyrec_http::{api, HttpClient, HttpServer, Response, Router};
+use hyrec_http::{api, BatchPolicy, HttpClient, HttpServer, ReactorServer, Response, Router};
 use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder, OnlineIdeal};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -290,13 +290,20 @@ fn recs_json(recs: &[hyrec_core::Recommendation]) -> String {
     out
 }
 
-/// Builds the HTTP router for concurrency experiments: `/online/` (HyRec,
-/// cached encoder) and `/crecommend/` (CRec, server-side Algorithm 2).
+/// Builds the HTTP router for concurrency experiments: `/online/`
+/// (coalescable, shares the population's fragment-cache encoder),
+/// `/online-fast/` (scalar cached-encoder variant) and `/crecommend/`
+/// (CRec, server-side Algorithm 2).
 #[must_use]
 pub fn benchmark_router(population: &Population) -> Router {
-    let mut router = api::hyrec_router(Arc::clone(&population.server));
+    let mut router = api::hyrec_router_with(
+        Arc::clone(&population.server),
+        Arc::clone(&population.encoder),
+        BatchPolicy::default(),
+    );
 
-    // Override /online/ with the cached-encoder variant.
+    // A scalar cached-encoder endpoint alongside the coalesced /online/:
+    // lets experiments separate the encoder win from the coalescing win.
     let server = Arc::clone(&population.server);
     let encoder = Arc::clone(&population.encoder);
     router.get("/online-fast/", move |req| {
@@ -375,6 +382,126 @@ pub fn spawn_benchmark_server(
     let addr = server.local_addr();
     let handle = server.serve(benchmark_router(population));
     (handle, addr)
+}
+
+/// The *seed* front-end, preserved for baseline measurements: scalar
+/// `/online/` doing `build_job` + a full `PersonalizationJob::encode`
+/// (re-gzipping every candidate profile on every request — no fragment
+/// cache, no coalescing). This is the per-request work the PR-1 ROADMAP
+/// items were written against.
+#[must_use]
+pub fn seed_frontend_router(server: Arc<HyRecServer>) -> Router {
+    let mut router = Router::new();
+    router.get("/online/", move |req: &hyrec_http::Request| {
+        match req.query_param("uid").and_then(|v| v.parse::<u32>().ok()) {
+            Some(uid) => {
+                let job = server.build_job(UserId(uid));
+                Response::ok_pregzipped_json(job.encode())
+            }
+            None => Response::bad_request("missing uid"),
+        }
+    });
+    router
+}
+
+/// Spins up the epoll reactor front-end over the benchmark router
+/// (coalesced `/online/` + `/rate/` sharing the population's encoder).
+#[must_use]
+pub fn spawn_reactor_server(
+    population: &Population,
+    workers: usize,
+    policy: BatchPolicy,
+) -> (hyrec_http::reactor::ReactorHandle, std::net::SocketAddr) {
+    let router = api::hyrec_router_with(
+        Arc::clone(&population.server),
+        Arc::clone(&population.encoder),
+        policy,
+    );
+    let server = ReactorServer::bind("127.0.0.1:0", workers).expect("bind reactor server");
+    let addr = server.local_addr();
+    let handle = server.serve(router);
+    (handle, addr)
+}
+
+/// Outcome of a closed-loop throughput run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Requests answered with 200.
+    pub ok: usize,
+    /// Requests that failed or returned a non-200 status.
+    pub errors: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Completed (200) requests per second.
+    pub rps: f64,
+}
+
+/// Closed-loop throughput: `clients` threads each issue
+/// `requests_per_client` requests to `path` (with `?uid=<random>`)
+/// and the aggregate completion rate is measured from a barrier-aligned
+/// start.
+///
+/// # Panics
+///
+/// Panics if a client thread panics.
+#[must_use]
+pub fn measure_throughput(
+    addr: std::net::SocketAddr,
+    path: &str,
+    users: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> Throughput {
+    let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let path = path.to_owned();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+            let mut rng = StdRng::seed_from_u64(0xBEEF ^ c as u64);
+            let sep = if path.contains('?') { '&' } else { '?' };
+            barrier.wait();
+            // Each client times its own span; the aggregate window is
+            // min(start)..max(end). (A single post-barrier timestamp on the
+            // coordinating thread undercounts badly when the box has fewer
+            // cores than clients — the coordinator may not be scheduled
+            // until most requests already finished.)
+            let start = Instant::now();
+            let mut ok = 0usize;
+            let mut errors = 0usize;
+            for _ in 0..requests_per_client {
+                let uid = rng.gen_range(0..users);
+                match client.get(&format!("{path}{sep}uid={uid}")) {
+                    Ok(response) if response.status == 200 => ok += 1,
+                    _ => errors += 1,
+                }
+            }
+            (ok, errors, start, Instant::now())
+        }));
+    }
+    barrier.wait();
+    let mut ok = 0usize;
+    let mut errors = 0usize;
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for handle in handles {
+        let (o, e, start, end) = handle.join().expect("client thread panicked");
+        ok += o;
+        errors += e;
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |s| s.max(end)));
+    }
+    let elapsed = match (first_start, last_end) {
+        (Some(start), Some(end)) => end.duration_since(start),
+        _ => Duration::ZERO,
+    };
+    Throughput {
+        ok,
+        errors,
+        elapsed,
+        rps: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +605,38 @@ mod tests {
         assert_eq!(stats.p50, Duration::from_millis(51));
         assert!(stats.p95 >= Duration::from_millis(95));
         assert!(stats.mean > Duration::from_millis(45));
+    }
+
+    #[test]
+    fn reactor_front_end_serves_and_measures_throughput() {
+        let population = build_population(40, 10, 3, 6);
+        let (handle, addr) = spawn_reactor_server(&population, 2, BatchPolicy::default());
+        let throughput = measure_throughput(addr, "/online/", 40, 8, 4);
+        assert_eq!(throughput.ok, 32);
+        assert_eq!(throughput.errors, 0);
+        assert!(throughput.rps > 0.0);
+        // The closed-loop latency harness works against the reactor too.
+        let stats = closed_loop(addr, "/online/", 40, 4, 3);
+        assert_eq!(stats.samples, 12);
+        assert_eq!(handle.request_count(), 32 + 12);
+        handle.stop();
+    }
+
+    #[test]
+    fn seed_router_replicates_seed_online_semantics() {
+        let population = build_population(20, 10, 3, 9);
+        let server = HttpServer::bind("127.0.0.1:0", 2).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.serve(seed_frontend_router(Arc::clone(&population.server)));
+        let client = HttpClient::new(addr);
+        let response = client.get("/online/?uid=1").unwrap();
+        assert_eq!(response.status, 200);
+        // The seed path gzips the whole job per request; the body still
+        // decodes to a job for the requested user.
+        let job = hyrec_wire::PersonalizationJob::decode(&response.body).unwrap();
+        assert_eq!(job.uid, UserId(1));
+        assert_eq!(client.get("/online/").unwrap().status, 400);
+        handle.stop();
     }
 
     #[test]

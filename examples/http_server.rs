@@ -11,16 +11,18 @@
 //! ```
 
 use hyrec::client::Widget;
-use hyrec::http::{api, HttpClient, HttpServer};
+use hyrec::http::{api, HttpClient, ReactorServer};
 use hyrec::prelude::*;
 use std::sync::Arc;
 
 fn main() {
     let hyrec = Arc::new(HyRecServer::builder().k(5).r(5).seed(11).build());
-    let server = HttpServer::bind("127.0.0.1:0", 4).expect("bind");
+    // The epoll reactor front-end: concurrent /online/ and /rate/ traffic
+    // is coalesced onto the batched pipeline (build_jobs / record_many).
+    let server = ReactorServer::bind("127.0.0.1:0", 4).expect("bind");
     let addr = server.local_addr();
     let handle = server.serve(api::hyrec_router(Arc::clone(&hyrec)));
-    println!("== HyRec web API listening on http://{addr}");
+    println!("== HyRec web API (reactor front-end) listening on http://{addr}");
 
     // --- Users rate items through the web API.
     let client = HttpClient::new(addr);
@@ -80,6 +82,12 @@ fn main() {
         hyrec.knn_of(UserId(0)).map_or(0, |h| h.len())
     );
 
+    println!(
+        "== {} requests served ({} coalesced into {} batches)",
+        handle.request_count(),
+        handle.stats().batched_requests(),
+        handle.stats().batches()
+    );
     handle.stop();
     println!("== server stopped cleanly");
 }
