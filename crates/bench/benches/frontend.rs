@@ -195,11 +195,52 @@ fn bench_sampler(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_http_framing(c: &mut Criterion) {
+    // The reactor's per-request framing cost: `Request::try_parse` over a
+    // rolling buffer holding 1–16 pipelined Table 1 calls — the hot loop
+    // every kept-alive connection runs on every read.
+    let mut group = c.benchmark_group("http-framing");
+    group.sample_size(30);
+    for pipeline in [1usize, 4, 16] {
+        let mut wire = Vec::new();
+        for uid in 0..pipeline {
+            wire.extend_from_slice(
+                format!(
+                    "GET /online/?uid={uid} HTTP/1.1\r\nhost: hyrec\r\n\
+                     connection: keep-alive\r\naccept-encoding: gzip\r\n\r\n"
+                )
+                .as_bytes(),
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("try_parse-pipelined", pipeline),
+            &pipeline,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut offset = 0usize;
+                    let mut framed = 0usize;
+                    while let Some((request, consumed)) =
+                        hyrec_http::Request::try_parse(&wire[offset..]).expect("valid frames")
+                    {
+                        offset += consumed;
+                        framed += 1;
+                        std::hint::black_box(request);
+                    }
+                    assert_eq!(framed, pipeline);
+                    std::hint::black_box(offset)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frontends,
     bench_batched,
     bench_batched_encoder,
-    bench_sampler
+    bench_sampler,
+    bench_http_framing
 );
 criterion_main!(benches);

@@ -9,19 +9,31 @@
 //!     served through the fragment-cache encoder (batch of one).
 //!   * `reactor-coalesced` — the epoll reactor gathering concurrent
 //!     requests into `build_jobs` + `encode_jobs` batches.
+//!
+//!   All three series run in `Connection: close` mode so the numbers stay
+//!   comparable with the recorded `BENCH_http.json` history.
+//! * `http_load bench-keepalive` — the connection-lifetime experiment:
+//!   the reactor front-end driven closed-loop over `/online/` in
+//!   `Connection: close` vs keep-alive mode at 64–1024 connections
+//!   (`BENCH_keepalive.json`).
 //! * `http_load smoke` — CI gate: fires a few hundred concurrent requests
 //!   at the reactor front-end, asserts every response is 200 and that the
 //!   server drains cleanly on shutdown.
 //!
+//! Flags: `--keep-alive` switches the smoke clients to persistent
+//! connections; `--requests-per-conn N` rotates each persistent client
+//! connection after `N` requests (exercising the reconnect path).
+//!
 //! ```text
 //! cargo run --release -p hyrec-bench --bin http_load -- bench > BENCH_http.json
-//! cargo run --release -p hyrec-bench --bin http_load -- smoke
+//! cargo run --release -p hyrec-bench --bin http_load -- bench-keepalive > BENCH_keepalive.json
+//! cargo run --release -p hyrec-bench --bin http_load -- smoke --keep-alive
 //! ```
 
 use hyrec_http::{BatchPolicy, HttpServer};
 use hyrec_sim::load::{
-    build_population, measure_throughput, seed_frontend_router, spawn_benchmark_server,
-    spawn_reactor_server, warm_cache, Population, Throughput,
+    build_population, measure_throughput_with, seed_frontend_router, spawn_benchmark_server,
+    spawn_reactor_server, warm_cache, LoadOptions, Population, Throughput,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -39,15 +51,58 @@ const REACTOR_WORKERS: usize = 4;
 /// Total requests targeted per series (split across the clients).
 const TARGET_REQUESTS: usize = 2_048;
 
+/// Parsed command line: mode + connection knobs.
+struct Args {
+    mode: String,
+    keep_alive: bool,
+    requests_per_conn: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: "bench".to_owned(),
+        keep_alive: false,
+        requests_per_conn: 0,
+    };
+    let mut raw = std::env::args().skip(1);
+    let mut mode_seen = false;
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--keep-alive" => args.keep_alive = true,
+            "--requests-per-conn" => {
+                let value = raw
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--requests-per-conn needs a number");
+                        std::process::exit(2);
+                    });
+                args.requests_per_conn = value;
+                // Rotating connections implies keeping them alive between
+                // rotations.
+                args.keep_alive = true;
+            }
+            mode if !mode_seen => {
+                args.mode = mode.to_owned();
+                mode_seen = true;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
 fn main() {
-    let mode = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "bench".to_owned());
-    match mode.as_str() {
+    let args = parse_args();
+    match args.mode.as_str() {
         "bench" => bench(),
-        "smoke" => smoke(),
+        "bench-keepalive" => bench_keepalive(args.requests_per_conn),
+        "smoke" => smoke(&args),
         other => {
-            eprintln!("unknown mode `{other}` (expected `bench` or `smoke`)");
+            eprintln!("unknown mode `{other}` (expected `bench`, `bench-keepalive` or `smoke`)");
             std::process::exit(2);
         }
     }
@@ -79,6 +134,16 @@ fn bench_population() -> Population {
     population
 }
 
+/// The reactor's coalescing policy for throughput runs. A 64-job cap keeps
+/// batches inside the workers' sweet spot (bigger caps serialize too much
+/// encode work behind one worker).
+fn bench_policy() -> BatchPolicy {
+    BatchPolicy {
+        max_batch: 64,
+        gather_window: Duration::from_millis(1),
+    }
+}
+
 fn bench() {
     let population = bench_population();
     for clients in [64usize, 256, 1024] {
@@ -89,26 +154,41 @@ fn bench() {
         let seed = HttpServer::bind("127.0.0.1:0", POOL_WORKERS).expect("bind seed server");
         let addr = seed.local_addr();
         let handle = seed.serve(seed_frontend_router(Arc::clone(&population.server)));
-        let result = measure_throughput(addr, "/online/", USERS, clients, per_client);
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::close_per_request(),
+        );
         emit("seed-threadpool", clients, &result);
         handle.stop();
 
         // Same blocking server, cached encoder (isolates the encoder win
         // from the front-end win).
         let (handle, addr) = spawn_benchmark_server(&population, POOL_WORKERS);
-        let result = measure_throughput(addr, "/online-fast/", USERS, clients, per_client);
+        let result = measure_throughput_with(
+            addr,
+            "/online-fast/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::close_per_request(),
+        );
         emit("threadpool-cached", clients, &result);
         handle.stop();
 
-        // The reactor + coalescing front-end. A 64-job cap keeps batches
-        // inside the workers' sweet spot (bigger caps serialize too much
-        // encode work behind one worker).
-        let policy = BatchPolicy {
-            max_batch: 64,
-            gather_window: Duration::from_millis(1),
-        };
-        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, policy);
-        let result = measure_throughput(addr, "/online/", USERS, clients, per_client);
+        // The reactor + coalescing front-end.
+        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, bench_policy());
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::close_per_request(),
+        );
         let stats = handle.stats();
         eprintln!(
             "  {:>20}   coalescing: {} requests in {} batches (mean {:.1}/flush)",
@@ -122,22 +202,88 @@ fn bench() {
     }
 }
 
-fn smoke() {
+/// Keep-alive vs `Connection: close` on the reactor front-end — the
+/// experiment behind `BENCH_keepalive.json`. Per-client request counts are
+/// raised above the plain bench so connection reuse has something to
+/// amortize.
+fn bench_keepalive(requests_per_conn: usize) {
+    let population = bench_population();
+    for clients in [64usize, 256, 1024] {
+        let per_client = (2 * TARGET_REQUESTS / clients).max(4);
+        eprintln!("== {clients} concurrent connections ({per_client} requests each)");
+
+        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, bench_policy());
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::close_per_request(),
+        );
+        emit("reactor-close", clients, &result);
+        handle.stop();
+
+        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, bench_policy());
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::persistent(requests_per_conn),
+        );
+        let stats = handle.stats();
+        eprintln!(
+            "  {:>20}   reuse: {} requests over {} connections (mean {:.1}/conn), \
+             {} batched in {} flushes",
+            "",
+            stats.requests(),
+            stats.connections(),
+            stats.requests() as f64 / stats.connections().max(1) as f64,
+            stats.batched_requests(),
+            stats.batches(),
+        );
+        emit("reactor-keepalive", clients, &result);
+        handle.stop();
+    }
+}
+
+fn smoke(args: &Args) {
     const CLIENTS: usize = 64;
     const PER_CLIENT: usize = 5;
-    eprintln!("http smoke: {CLIENTS} concurrent clients × {PER_CLIENT} requests…");
+    let options = if args.keep_alive {
+        LoadOptions::persistent(args.requests_per_conn)
+    } else {
+        LoadOptions::close_per_request()
+    };
+    eprintln!(
+        "http smoke: {CLIENTS} concurrent clients × {PER_CLIENT} requests ({})…",
+        if args.keep_alive {
+            "keep-alive"
+        } else {
+            "connection: close"
+        }
+    );
     let population = build_population(200, 20, 5, 7);
     let policy = BatchPolicy::default();
     let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, policy);
 
     // Interleaved /rate/ and /online/ traffic.
-    let rate = measure_throughput(addr, "/rate/?item=9000&like=1", 200, CLIENTS, PER_CLIENT);
+    let rate = measure_throughput_with(
+        addr,
+        "/rate/?item=9000&like=1",
+        200,
+        CLIENTS,
+        PER_CLIENT,
+        options,
+    );
     assert_eq!(
         (rate.ok, rate.errors),
         (CLIENTS * PER_CLIENT, 0),
         "rate traffic must be all-200"
     );
-    let online = measure_throughput(addr, "/online/", 200, CLIENTS, PER_CLIENT);
+    let online = measure_throughput_with(addr, "/online/", 200, CLIENTS, PER_CLIENT, options);
     assert_eq!(
         (online.ok, online.errors),
         (CLIENTS * PER_CLIENT, 0),
@@ -149,6 +295,14 @@ fn smoke() {
         2 * CLIENTS * PER_CLIENT,
         "request accounting"
     );
+    if args.keep_alive {
+        let connections = handle.stats().connections();
+        assert!(
+            (connections as usize) < 2 * CLIENTS * PER_CLIENT,
+            "keep-alive smoke opened one connection per request ({connections})"
+        );
+        eprintln!("  keep-alive reuse: {served} requests over {connections} connections");
+    }
 
     // Drain: stop() must return promptly with nothing left in flight.
     let start = std::time::Instant::now();

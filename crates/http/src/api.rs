@@ -13,12 +13,12 @@
 //!
 //! ## Coalescing
 //!
-//! The hot endpoints are registered as **batch routes** (see
-//! [`Router::get_batched`]): under the reactor front-end, concurrent
-//! `/online/` requests inside a gather window funnel into a single
-//! [`HyRecServer::build_jobs`] call whose outputs are serialized by the
-//! batched, fragment-caching [`JobEncoder::encode_jobs`]; `/rate/` bursts
-//! stage their votes through the shard-grouped
+//! The hot endpoints register [`crate::Handler`]s with batched
+//! [`BatchPolicy`]s: under the reactor front-end, concurrent — and, with
+//! keep-alive, *pipelined* — `/online/` requests inside a gather window
+//! funnel into a single [`HyRecServer::build_jobs`] call whose outputs are
+//! serialized by the batched, fragment-caching [`JobEncoder::encode_jobs`];
+//! `/rate/` bursts stage their votes through the shard-grouped
 //! [`HyRecServer::record_many`]; `POST /neighbors/` bursts apply through
 //! [`HyRecServer::apply_updates`]. On the thread-per-connection server the
 //! same routes run with batches of one, and every batched response is
@@ -56,24 +56,26 @@ pub fn hyrec_router_with(
     // batch order, so the RNG stream matches the sequential path.
     let online_server = Arc::clone(&server);
     let online_encoder = Arc::clone(&encoder);
-    router.get_batched("/online/", policy, move |requests| {
-        let parsed: Vec<Result<UserId, String>> = requests.iter().map(parse_uid).collect();
-        let uids: Vec<UserId> = parsed
-            .iter()
-            .filter_map(|p| p.as_ref().ok().copied())
-            .collect();
-        let jobs = online_server.build_jobs(&uids);
-        let mut bodies = online_encoder.encode_jobs(&jobs).into_iter();
-        parsed
-            .into_iter()
-            .map(|p| match p {
+    router.route(
+        "GET",
+        "/online/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let parsed: Vec<Result<UserId, String>> = requests.iter().map(parse_uid).collect();
+            let uids: Vec<UserId> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().copied())
+                .collect();
+            let jobs = online_server.build_jobs(&uids);
+            let mut bodies = online_encoder.encode_jobs(&jobs).into_iter();
+            out.extend(parsed.into_iter().map(|p| match p {
                 Ok(_) => Response::ok_pregzipped_json(
                     bodies.next().expect("one encoded body per valid uid"),
                 ),
                 Err(reason) => Response::bad_request(&reason),
-            })
-            .collect()
-    });
+            }));
+        },
+    );
 
     // GET /neighbors/?uid=N&id0=..&sim0=.. — "Update KNN selection".
     let neighbors_server = Arc::clone(&server);
@@ -88,36 +90,43 @@ pub fn hyrec_router_with(
     // POST /neighbors/ with a gzipped KnnUpdate body (our wire form).
     // Gathered updates apply through one shard-grouped write-back.
     let post_server = Arc::clone(&server);
-    router.post_batched("/neighbors/", policy, move |requests| {
-        let mut updates = Vec::with_capacity(requests.len());
-        let responses: Vec<Response> = requests
-            .iter()
-            .map(|req| match KnnUpdate::decode(&req.body) {
-                Ok(update) => {
-                    updates.push(update);
-                    Response::ok("application/json", b"{\"ok\":true}".to_vec())
-                }
-                Err(err) => Response::bad_request(&err.to_string()),
-            })
-            .collect();
-        post_server.apply_updates(&updates);
-        responses
-    });
+    router.route(
+        "POST",
+        "/neighbors/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let mut updates = Vec::with_capacity(requests.len());
+            out.extend(
+                requests
+                    .iter()
+                    .map(|req| match KnnUpdate::decode(&req.body) {
+                        Ok(update) => {
+                            updates.push(update);
+                            Response::ok("application/json", b"{\"ok\":true}".to_vec())
+                        }
+                        Err(err) => Response::bad_request(&err.to_string()),
+                    }),
+            );
+            post_server.apply_updates(&updates);
+        },
+    );
 
     // GET /rate/?uid=N&item=I&like=0|1 — profile update. Gathered votes
     // ingest through record_many: one write lock per touched shard.
     let rate_server = Arc::clone(&server);
-    router.get_batched("/rate/", policy, move |requests| {
-        let parsed: Vec<Result<(UserId, ItemId, Vote), String>> =
-            requests.iter().map(parse_rate).collect();
-        let votes: Vec<(UserId, ItemId, Vote)> = parsed
-            .iter()
-            .filter_map(|p| p.as_ref().ok().copied())
-            .collect();
-        let mut changed = rate_server.record_many(&votes).into_iter();
-        parsed
-            .into_iter()
-            .map(|p| match p {
+    router.route(
+        "GET",
+        "/rate/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let parsed: Vec<Result<(UserId, ItemId, Vote), String>> =
+                requests.iter().map(parse_rate).collect();
+            let votes: Vec<(UserId, ItemId, Vote)> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().copied())
+                .collect();
+            let mut changed = rate_server.record_many(&votes).into_iter();
+            out.extend(parsed.into_iter().map(|p| match p {
                 Ok(_) => {
                     let flag = changed.next().expect("one change flag per valid vote");
                     Response::ok(
@@ -126,9 +135,9 @@ pub fn hyrec_router_with(
                     )
                 }
                 Err(reason) => Response::bad_request(&reason),
-            })
-            .collect()
-    });
+            }));
+        },
+    );
 
     router
 }

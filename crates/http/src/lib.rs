@@ -4,29 +4,43 @@
 //! HyRec reproduction — the stand-in for the paper's J2EE servlets + Jetty
 //! (Section 4.1).
 //!
+//! The serving API is **connection-oriented**: both front-ends speak
+//! HTTP/1.1 keep-alive (with pipelining on the reactor), every route is a
+//! [`Handler`] behind a [`BatchPolicy`] (scalar routes are the policy-of-1
+//! special case), and each [`Response`] carries an explicit
+//! [`response::Disposition`] chosen per request from the parsed
+//! `Connection`/version fields, the connection's request budget and
+//! shutdown state — never a hardcoded header.
+//!
 //! Two interchangeable server front-ends speak the same protocol:
 //!
 //! * [`server`] — the seed architecture: blocking accept loop over a
-//!   fixed [`threadpool`] (the servlet container's request threads; the
-//!   pool size is the knob behind Figure 9's concurrency experiment).
+//!   fixed [`threadpool`]; each worker now loops on its connection until
+//!   close/idle-timeout/request-budget, so the pool size bounds concurrent
+//!   *connections* (the knob behind Figure 9's concurrency experiment).
 //! * [`reactor`] — the scaling architecture: an epoll readiness loop
 //!   (raw bindings in a private `sys` module, no external deps) with
-//!   nonblocking per-connection state machines, recycled buffers, a small
-//!   worker pool, and **request coalescing**: concurrent requests to
-//!   [batch routes](Router::get_batched) are gathered — up to a cap,
-//!   within a gather window — and handed to one batched handler call.
+//!   persistent per-connection state machines (rolling read buffer holding
+//!   pipelined requests, in-order response queue, idle sweep,
+//!   max-requests-per-connection), recycled buffers, a small worker pool,
+//!   and **request coalescing**: concurrent and pipelined requests to
+//!   batched routes are gathered — up to a cap, within a gather window —
+//!   and handed to one handler call.
 //!
 //! Shared plumbing:
 //!
 //! * [`request`] / [`response`] — HTTP parsing (incremental
-//!   [`Request::try_parse`] for the reactor) and serialization with
-//!   `Content-Encoding: gzip` handled by our own `hyrec-wire` codec.
-//! * [`router`] — path-prefix routing, scalar and batch routes, trailing
-//!   slash optional.
-//! * [`client`] — a small blocking client used by load generators and
-//!   examples.
-//! * [`api`] — the HyRec web API of Table 1, mounted with coalescable
-//!   routes: `GET /online/?uid=<uid>` batches into
+//!   [`Request::try_parse`] for the reactor's rolling buffers, and the
+//!   mirror-image [`Response::try_parse`] for the client's) and
+//!   serialization with `Content-Encoding: gzip` handled by our own
+//!   `hyrec-wire` codec.
+//! * [`router`] — path-prefix routing over the unified [`Handler`] trait,
+//!   trailing slash optional.
+//! * [`client`] — a small blocking client holding one persistent
+//!   connection per clone, with automatic reconnect; used by load
+//!   generators and examples.
+//! * [`api`] — the HyRec web API of Table 1, mounted with batched
+//!   policies: `GET /online/?uid=<uid>` batches into
 //!   `HyRecServer::build_jobs` + `JobEncoder::encode_jobs`,
 //!   `GET /rate/` batches into the shard-grouped
 //!   `HyRecServer::record_many`, and `POST /neighbors/` batches into
@@ -38,7 +52,8 @@
 //! use hyrec_server::HyRecServer;
 //!
 //! let hyrec = Arc::new(HyRecServer::new());
-//! let server = ReactorServer::bind("127.0.0.1:0", 4)?;
+//! let server = ReactorServer::bind("127.0.0.1:0", 4)?
+//!     .with_max_requests_per_conn(10_000);
 //! let addr = server.local_addr();
 //! let handle = server.serve(api::hyrec_router(hyrec));
 //! println!("HyRec API listening on http://{addr}");
@@ -62,6 +77,6 @@ pub mod threadpool;
 pub use client::HttpClient;
 pub use reactor::ReactorServer;
 pub use request::Request;
-pub use response::Response;
-pub use router::{BatchPolicy, Router};
+pub use response::{Disposition, Response};
+pub use router::{BatchPolicy, Handler, Router, Scalar};
 pub use server::HttpServer;

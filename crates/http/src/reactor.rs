@@ -1,6 +1,6 @@
 //! The epoll reactor front-end: one event-loop thread multiplexing every
 //! connection, a small worker pool doing the request work, and a
-//! coalescing layer gathering concurrent requests to batch routes.
+//! coalescing layer gathering concurrent requests to batched routes.
 //!
 //! The thread-per-connection [`crate::server::HttpServer`] holds one OS
 //! thread hostage per in-flight connection — fine for hundreds of browsers,
@@ -8,29 +8,39 @@
 //! front-end stays *cheap* as the population grows). The reactor replaces
 //! it with:
 //!
-//! * **Nonblocking accept + per-connection state machines.** Each
-//!   connection owns a read accumulation buffer and a staged write buffer;
-//!   both are recycled through a buffer pool when the connection closes, so
-//!   steady-state serving allocates nothing per connection.
+//! * **Persistent, pipelined connections.** Each connection owns a rolling
+//!   read buffer that may hold several back-to-back requests at once and a
+//!   staged write buffer; both are recycled through a buffer pool when the
+//!   connection closes. Requests are numbered per connection and responses
+//!   flush strictly in request order (a reorder queue holds completions
+//!   that finish early), so browsers holding one socket across many
+//!   Table 1 calls — and pipelining them — are served correctly and
+//!   cheaply: no per-request TCP connect/accept at all.
+//! * **Connection lifetime management.** Each response's `Connection`
+//!   header is derived per request ([`Request::wants_keep_alive`] ∧
+//!   requests-served < [`ReactorServer::with_max_requests_per_conn`] ∧ not
+//!   shutting down); an idle sweep reaps connections that have sat quiet
+//!   longer than [`ReactorServer::with_idle_timeout`] so dead browsers do
+//!   not pin buffers.
 //! * **A readiness loop** over raw `epoll` (see [`crate::sys`]; no external
 //!   dependencies), level-triggered, with a wakeup `eventfd` for response
 //!   completions coming back from the workers.
-//! * **Request coalescing.** Requests resolving to a
-//!   [batch route](crate::router::Router::get_batched) are *gathered*
-//!   rather than dispatched: a batch flushes to the worker pool when it
-//!   reaches the route's `max_batch`, when its oldest request has waited
-//!   the route's `gather_window`, or as soon as the pipeline goes idle —
-//!   so a lightly-loaded server answers immediately while a saturated one
-//!   funnels whole bursts of `GET /online/` into single
-//!   `HyRecServer::build_jobs` calls.
+//! * **Request coalescing.** Requests resolving to a route whose
+//!   [`crate::BatchPolicy`] allows batching are *gathered* rather than
+//!   dispatched: a batch flushes to the worker pool when it reaches the
+//!   route's `max_batch`, when its oldest request has waited the route's
+//!   `gather_window`, or as soon as the pipeline goes idle. Pipelining
+//!   widens this: a browser that writes three `/online/` calls
+//!   back-to-back delivers a ready-made batch in a single read, without
+//!   paying the gather window as latency.
 //!
 //! Shutdown drains: pending batches are flushed, in-flight work completes,
-//! staged responses are written out, then the loop exits and the pool
-//! joins.
+//! staged responses are written out (stamped `Connection: close`), then the
+//! loop exits and the pool joins.
 
 use crate::request::Request;
-use crate::response::Response;
-use crate::router::{BatchRoute, Resolution, Router};
+use crate::response::{Disposition, Response};
+use crate::router::{Resolution, Route, Router};
 use crate::sys::{Epoll, EpollEvent, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::threadpool::ThreadPool;
 use std::io::{self, Read, Write};
@@ -52,8 +62,18 @@ const READ_CHUNK: usize = 16 * 1024;
 /// caps plus framing slack; `Request::try_parse` rejects earlier in
 /// practice).
 const MAX_CONN_BUF: usize = 17 * 1024 * 1024;
-/// Connections idle in the reading state longer than this are dropped.
-const READ_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default idle timeout: connections with nothing in flight that stay
+/// quiet longer than this are reaped.
+const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Cap on responses outstanding per connection: framing pauses (bytes stay
+/// buffered) until earlier responses flush, bounding per-connection work a
+/// pipelining client can force into the queue.
+const MAX_PIPELINE: u64 = 64;
+/// Cap on staged-but-unwritten response bytes per connection: framing also
+/// pauses while this much output awaits a slow (or vanished) reader, so a
+/// pipelining client that never reads cannot grow the write buffer without
+/// bound.
+const MAX_STAGED_OUT: usize = 1024 * 1024;
 /// How long a draining shutdown waits before abandoning in-flight work.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// Buffers recycled through the pool are capped at this many.
@@ -72,6 +92,7 @@ const ACCEPT_BACKLOG: i32 = 4096;
 #[derive(Debug, Default)]
 pub struct ReactorStats {
     requests: AtomicU64,
+    connections: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
 }
@@ -83,13 +104,20 @@ impl ReactorStats {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Number of coalesced batches flushed to batch routes.
+    /// Number of connections accepted (so `requests / connections` is the
+    /// achieved keep-alive reuse factor).
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Number of coalesced batches flushed to batched routes.
     #[must_use]
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
     }
 
-    /// Number of requests served through batch routes (so
+    /// Number of requests served through batched routes (so
     /// `batched_requests / batches` is the achieved mean batch size).
     #[must_use]
     pub fn batched_requests(&self) -> u64 {
@@ -97,13 +125,15 @@ impl ReactorStats {
     }
 }
 
-/// An epoll-based nonblocking HTTP/1.1 server (`Connection: close`
-/// semantics, one request per connection — same protocol surface as
-/// [`crate::server::HttpServer`], different concurrency architecture).
+/// An epoll-based nonblocking HTTP/1.1 server with persistent (keep-alive,
+/// pipelined) connections — same protocol surface as
+/// [`crate::server::HttpServer`], different concurrency architecture.
 pub struct ReactorServer {
     listener: TcpListener,
     workers: usize,
     local_addr: SocketAddr,
+    idle_timeout: Duration,
+    max_requests_per_conn: u64,
 }
 
 impl std::fmt::Debug for ReactorServer {
@@ -111,6 +141,8 @@ impl std::fmt::Debug for ReactorServer {
         f.debug_struct("ReactorServer")
             .field("addr", &self.local_addr)
             .field("workers", &self.workers)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_requests_per_conn", &self.max_requests_per_conn)
             .finish()
     }
 }
@@ -138,7 +170,8 @@ impl ReactorHandle {
         self.stats.requests()
     }
 
-    /// Serving statistics (batch counts expose achieved coalescing).
+    /// Serving statistics (batch and connection counts expose achieved
+    /// coalescing and keep-alive reuse).
     #[must_use]
     pub fn stats(&self) -> &ReactorStats {
         &self.stats
@@ -181,7 +214,27 @@ impl ReactorServer {
             listener,
             workers: workers.max(1),
             local_addr,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            max_requests_per_conn: u64::MAX,
         })
+    }
+
+    /// Sets how long a connection with nothing in flight may sit quiet
+    /// before the sweep reaps it (default 10 s).
+    #[must_use]
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Caps requests served per connection (default unlimited): the
+    /// `n`-th response on a connection is stamped `Connection: close` and
+    /// the connection ends — the standard guard against a single browser
+    /// pinning server-side state forever.
+    #[must_use]
+    pub fn with_max_requests_per_conn(mut self, max_requests: u64) -> Self {
+        self.max_requests_per_conn = max_requests.max(1);
+        self
     }
 
     /// The bound address.
@@ -204,8 +257,7 @@ impl ReactorServer {
         let stats = Arc::new(ReactorStats::default());
         let addr = self.local_addr;
         let reactor = Reactor::new(
-            self.listener,
-            self.workers,
+            self,
             router,
             Arc::clone(&shutdown),
             Arc::clone(&waker),
@@ -222,27 +274,46 @@ impl ReactorServer {
     }
 }
 
-/// Per-connection lifecycle.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum ConnState {
-    /// Accumulating request bytes.
-    Reading,
-    /// A parsed request is with the workers (or gathered in a pending
-    /// batch); no epoll interest.
-    Busy,
-    /// A staged response is being written out.
-    Writing,
-}
-
+/// A persistent connection's state machine.
 struct Conn {
     stream: TcpStream,
-    state: ConnState,
-    /// Read accumulation buffer (recycled through the buffer pool).
+    /// Rolling read buffer; may hold several pipelined requests (recycled
+    /// through the buffer pool).
     buf: Vec<u8>,
     /// Staged response bytes (recycled through the buffer pool).
     out: Vec<u8>,
     written: usize,
+    /// Last activity (read progress, request framed, write completed) —
+    /// the idle sweep's clock.
     since: Instant,
+    /// Sequence number assigned to the next request parsed here.
+    next_assign: u64,
+    /// Sequence number whose response serializes next (responses flush in
+    /// request order).
+    next_flush: u64,
+    /// Completed responses that arrived ahead of `next_flush`.
+    reorder: Vec<(u64, Response)>,
+    /// No further requests are accepted; the connection closes once every
+    /// assigned response has flushed.
+    closing: bool,
+    /// The peer half-closed its write side: the bytes already buffered are
+    /// the last that will ever arrive (complete frames among them are
+    /// still served — shutdown-after-send is a legal client pattern).
+    peer_eof: bool,
+    /// Currently registered epoll interest.
+    interest: u32,
+}
+
+impl Conn {
+    /// Requests parsed whose responses have not yet serialized.
+    fn pending_responses(&self) -> u64 {
+        self.next_assign - self.next_flush
+    }
+
+    /// Nothing left to compute or write for this connection.
+    fn drained(&self) -> bool {
+        self.pending_responses() == 0 && self.written >= self.out.len()
+    }
 }
 
 /// Connection storage with generation-tagged slots: a token names a
@@ -322,42 +393,62 @@ fn parts_of(token: u64) -> (usize, u32) {
     ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
 }
 
-/// A batch being gathered for one batch route.
+/// A batch being gathered for one batched route.
 struct PendingBatch {
-    entries: Vec<(u64, Request)>,
+    entries: Vec<(u64, u64, Request)>,
     oldest: Instant,
+}
+
+/// One step of the per-connection framing loop.
+enum FrameStep {
+    /// A request was framed and assigned a sequence number.
+    Frame(u64, Request),
+    /// The buffer can never frame a valid request; answer 400 at this
+    /// sequence number and close.
+    Bad(u64, String),
+    /// Nothing (more) to frame right now.
+    Stop,
 }
 
 struct Reactor {
     listener: TcpListener,
     workers: usize,
     router: Arc<Router>,
+    idle_timeout: Duration,
+    max_requests_per_conn: u64,
     shutdown: Arc<AtomicBool>,
     waker: Arc<Waker>,
     stats: Arc<ReactorStats>,
-    completions: Arc<Mutex<Vec<(u64, Response)>>>,
+    completions: Arc<Mutex<Vec<(u64, u64, Response)>>>,
     in_flight: Arc<AtomicUsize>,
 }
 
 impl Reactor {
     fn new(
-        listener: TcpListener,
-        workers: usize,
+        server: ReactorServer,
         router: Router,
         shutdown: Arc<AtomicBool>,
         waker: Arc<Waker>,
         stats: Arc<ReactorStats>,
     ) -> Self {
         Self {
-            listener,
-            workers,
+            listener: server.listener,
+            workers: server.workers,
             router: Arc::new(router),
+            idle_timeout: server.idle_timeout,
+            max_requests_per_conn: server.max_requests_per_conn,
             shutdown,
             waker,
             stats,
             completions: Arc::new(Mutex::new(Vec::new())),
             in_flight: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Idle-sweep cadence: frequent enough to honour short test timeouts,
+    /// capped at once a second.
+    fn sweep_interval(&self) -> Duration {
+        (self.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1))
     }
 
     #[allow(clippy::too_many_lines)]
@@ -378,13 +469,14 @@ impl Reactor {
         let mut slab = Slab::new();
         let mut buffer_pool: Vec<Vec<u8>> = Vec::new();
         let mut pending: Vec<Option<PendingBatch>> =
-            (0..self.router.batch_route_count()).map(|_| None).collect();
+            (0..self.router.route_count()).map(|_| None).collect();
         let mut events = vec![EpollEvent::zeroed(); 1024];
         let mut accepting = true;
         // While Some, the listener is deregistered (accept failed with
         // e.g. EMFILE); re-armed once the deadline passes so a full fd
         // table degrades to brief accept pauses instead of a busy spin.
         let mut accept_paused_until: Option<Instant> = None;
+        let sweep_every = self.sweep_interval();
         let mut last_sweep = Instant::now();
         let mut drain_started: Option<Instant> = None;
 
@@ -395,7 +487,7 @@ impl Reactor {
                     let _ = epoll.add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN);
                 }
             }
-            let mut timeout = self.wait_timeout(&pending, drain_started.is_some());
+            let mut timeout = self.wait_timeout(&pending, sweep_every, drain_started.is_some());
             if accept_paused_until.is_some() {
                 timeout = timeout.min(i32::try_from(ACCEPT_BACKOFF.as_millis()).unwrap_or(50));
             }
@@ -423,11 +515,29 @@ impl Reactor {
                 }
             }
 
-            // Responses computed by the workers since the last pass.
-            let done: Vec<(u64, Response)> =
+            // Responses computed by the workers since the last pass; after
+            // queueing them, resume framing on those connections — their
+            // pipelines may have been paused by the MAX_PIPELINE cap.
+            let done: Vec<(u64, u64, Response)> =
                 std::mem::take(&mut *self.completions.lock().expect("completions poisoned"));
-            for (token, response) in done {
-                self.stage_response(&epoll, &mut slab, &mut buffer_pool, token, &response);
+            let mut touched: Vec<u64> = Vec::with_capacity(done.len());
+            for (token, seq, response) in done {
+                self.queue_response(&epoll, &mut slab, &mut buffer_pool, token, seq, response);
+                if !touched.contains(&token) {
+                    touched.push(token);
+                }
+            }
+            for token in touched {
+                self.frame_and_dispatch(
+                    &epoll,
+                    &mut slab,
+                    &mut buffer_pool,
+                    &mut pending,
+                    &pool,
+                    token,
+                );
+                self.close_if_drained(&epoll, &mut slab, &mut buffer_pool, token);
+                self.sync_interest(&epoll, &mut slab, token);
             }
 
             // Flush gathered batches: full batches flushed at push time;
@@ -440,20 +550,27 @@ impl Reactor {
                     idle_pipeline
                         || drain_started.is_some()
                         || now.duration_since(batch.oldest)
-                            >= self.router.batch_route(index).policy().gather_window
+                            >= self.router.route_at(index).policy().gather_window
                 });
                 if due {
                     self.flush_batch(&mut pending, index, &pool);
                 }
             }
 
-            // Periodic sweep of connections stuck mid-request.
-            if now.duration_since(last_sweep) >= Duration::from_secs(1) {
+            // Periodic sweep: reap connections that have sat quiet longer
+            // than the idle timeout with nothing in flight — covers both
+            // clients stalled mid-request and idle keep-alive connections.
+            if now.duration_since(last_sweep) >= sweep_every {
                 last_sweep = now;
                 for token in slab.live_tokens() {
                     let expired = slab.get_mut(token).is_some_and(|conn| {
-                        matches!(conn.state, ConnState::Reading)
-                            && now.duration_since(conn.since) > READ_IDLE_TIMEOUT
+                        // Quiet connections with nothing in flight, and
+                        // vanished readers whose staged bytes stopped
+                        // draining, are both reaped; connections merely
+                        // waiting on a slow handler are not.
+                        let stalled_write = conn.written < conn.out.len();
+                        (conn.drained() || stalled_write)
+                            && now.duration_since(conn.since) > self.idle_timeout
                     });
                     if expired {
                         self.close_conn(&epoll, &mut slab, &mut buffer_pool, token);
@@ -461,17 +578,21 @@ impl Reactor {
                 }
             }
 
-            // Shutdown: stop accepting, drop half-read connections, then
-            // drain in-flight work and staged writes before exiting.
+            // Shutdown: stop accepting, mark every connection closing
+            // (drained ones drop immediately; the rest flush their pending
+            // responses, stamped `Connection: close`), then drain in-flight
+            // work before exiting.
             if self.shutdown.load(Ordering::SeqCst) && drain_started.is_none() {
                 drain_started = Some(now);
                 accepting = false;
                 let _ = epoll.delete(self.listener.as_raw_fd());
                 for token in slab.live_tokens() {
-                    let reading = slab
-                        .get_mut(token)
-                        .is_some_and(|conn| matches!(conn.state, ConnState::Reading));
-                    if reading {
+                    let done = slab.get_mut(token).is_some_and(|conn| {
+                        conn.closing = true;
+                        conn.buf.clear();
+                        conn.drained()
+                    });
+                    if done {
                         self.close_conn(&epoll, &mut slab, &mut buffer_pool, token);
                     }
                 }
@@ -493,17 +614,24 @@ impl Reactor {
         pool.join();
     }
 
-    /// Epoll timeout: tight when a gather window is pending, long when
-    /// idle, short while draining.
-    fn wait_timeout(&self, pending: &[Option<PendingBatch>], draining: bool) -> i32 {
+    /// Epoll timeout: tight when a gather window is pending, bounded by the
+    /// idle-sweep cadence otherwise, short while draining.
+    fn wait_timeout(
+        &self,
+        pending: &[Option<PendingBatch>],
+        sweep_every: Duration,
+        draining: bool,
+    ) -> i32 {
         if draining {
             return 10;
         }
-        let mut timeout: i32 = 1_000;
+        let mut timeout = i32::try_from(sweep_every.as_millis().max(1))
+            .unwrap_or(1_000)
+            .min(1_000);
         let now = Instant::now();
         for (index, batch) in pending.iter().enumerate() {
             if let Some(batch) = batch {
-                let window = self.router.batch_route(index).policy().gather_window;
+                let window = self.router.route_at(index).policy().gather_window;
                 let elapsed = now.duration_since(batch.oldest);
                 let remaining = window.saturating_sub(elapsed);
                 // Round up so we never spin on a sub-millisecond remainder.
@@ -528,13 +656,19 @@ impl Reactor {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
                     let conn = Conn {
                         stream,
-                        state: ConnState::Reading,
                         buf: buffer_pool.pop().unwrap_or_default(),
                         out: buffer_pool.pop().unwrap_or_default(),
                         written: 0,
                         since: Instant::now(),
+                        next_assign: 0,
+                        next_flush: 0,
+                        reorder: Vec::new(),
+                        closing: false,
+                        peer_eof: false,
+                        interest: EPOLLIN,
                     };
                     let token = slab.insert(conn);
                     let fd = slab
@@ -566,26 +700,28 @@ impl Reactor {
         token: u64,
         readiness: u32,
     ) {
-        let Some(conn) = slab.get_mut(token) else {
+        if slab.get_mut(token).is_none() {
             return; // Stale token: connection already recycled.
-        };
-        let state = conn.state;
+        }
         if readiness & (EPOLLERR | EPOLLHUP) != 0 {
             self.close_conn(epoll, slab, buffer_pool, token);
             return;
         }
-        match state {
-            ConnState::Reading if readiness & EPOLLIN != 0 => {
-                self.read_ready(epoll, slab, buffer_pool, pending, pool, token);
-            }
-            ConnState::Writing if readiness & EPOLLOUT != 0 => {
-                self.write_ready(epoll, slab, buffer_pool, token);
-            }
-            _ => {}
+        if readiness & EPOLLIN != 0 {
+            self.read_ready(epoll, slab, buffer_pool, pending, pool, token);
         }
+        if readiness & EPOLLOUT != 0 && slab.get_mut(token).is_some() {
+            self.try_write(epoll, slab, buffer_pool, token);
+            // Write progress may have released the staged-bytes gate on
+            // framing (a pipelining client fed by a slow reader).
+            self.frame_and_dispatch(epoll, slab, buffer_pool, pending, pool, token);
+            self.close_if_drained(epoll, slab, buffer_pool, token);
+        }
+        self.sync_interest(epoll, slab, token);
     }
 
-    /// Pulls everything currently readable, then tries to frame a request.
+    /// Pulls everything currently readable, frames and dispatches as many
+    /// pipelined requests as the buffer holds, and handles peer EOF.
     fn read_ready(
         &self,
         epoll: &Epoll,
@@ -595,36 +731,135 @@ impl Reactor {
         pool: &ThreadPool,
         token: u64,
     ) {
-        let outcome = {
-            let conn = slab.get_mut(token).expect("caller validated token");
-            pull_and_frame(conn)
+        let pulled = {
+            let Some(conn) = slab.get_mut(token) else {
+                return;
+            };
+            if conn.closing {
+                return; // Late readiness after we stopped accepting input.
+            }
+            pull_bytes(conn)
         };
-        match outcome {
-            ReadOutcome::Partial => {}
-            ReadOutcome::Closed => self.close_conn(epoll, slab, buffer_pool, token),
-            ReadOutcome::Reject(reason) => {
-                self.finish_with(
+        match pulled {
+            Pull::Closed => {
+                self.close_conn(epoll, slab, buffer_pool, token);
+            }
+            Pull::TooLarge => {
+                let seq = {
+                    let conn = slab.get_mut(token).expect("checked above");
+                    let seq = conn.next_assign;
+                    conn.next_assign += 1;
+                    conn.closing = true;
+                    conn.buf.clear();
+                    seq
+                };
+                self.queue_response(
                     epoll,
                     slab,
                     buffer_pool,
                     token,
-                    &Response::bad_request(&reason),
+                    seq,
+                    Response::bad_request("request too large"),
                 );
             }
-            ReadOutcome::Complete(request) => {
-                self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                if let Some(conn) = slab.get_mut(token) {
-                    conn.state = ConnState::Busy;
-                    let fd = conn.stream.as_raw_fd();
-                    let _ = epoll.modify(fd, 0, token);
+            Pull::Data { eof } => {
+                if eof {
+                    if let Some(conn) = slab.get_mut(token) {
+                        conn.peer_eof = true;
+                    }
                 }
-                self.dispatch(epoll, slab, buffer_pool, pending, pool, token, request);
+                // Complete frames already buffered are still served — even
+                // past the pipeline cap, framing resumes as responses
+                // flush; `peer_eof` only forbids *new* bytes. The framing
+                // loop flips the connection to closing once the buffer can
+                // never yield another request.
+                self.frame_and_dispatch(epoll, slab, buffer_pool, pending, pool, token);
+                self.close_if_drained(epoll, slab, buffer_pool, token);
             }
         }
     }
 
-    /// Routes a parsed request: batch routes gather, scalar routes go to
-    /// the pool, and routing misses answer immediately.
+    /// Frames as many complete requests as the connection's buffer holds
+    /// (bounded by the pipeline cap) and dispatches each.
+    fn frame_and_dispatch(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        pending: &mut [Option<PendingBatch>],
+        pool: &ThreadPool,
+        token: u64,
+    ) {
+        loop {
+            let step = {
+                let Some(conn) = slab.get_mut(token) else {
+                    return;
+                };
+                if conn.closing
+                    || conn.pending_responses() >= MAX_PIPELINE
+                    || conn.out.len() - conn.written > MAX_STAGED_OUT
+                {
+                    FrameStep::Stop
+                } else {
+                    match Request::try_parse(&conn.buf) {
+                        Ok(Some((request, consumed))) => {
+                            conn.buf.drain(..consumed);
+                            conn.since = Instant::now();
+                            let seq = conn.next_assign;
+                            conn.next_assign += 1;
+                            // The keep-alive decision, per request: client
+                            // intent ∧ per-connection budget ∧ liveness.
+                            if !request.wants_keep_alive()
+                                || conn.next_assign >= self.max_requests_per_conn
+                                || self.shutdown.load(Ordering::Relaxed)
+                            {
+                                conn.closing = true;
+                                conn.buf.clear();
+                            }
+                            FrameStep::Frame(seq, request)
+                        }
+                        Ok(None) => {
+                            if conn.peer_eof {
+                                // The remaining bytes can never complete a
+                                // request; nothing more will arrive.
+                                conn.closing = true;
+                                conn.buf.clear();
+                            }
+                            FrameStep::Stop
+                        }
+                        Err(reason) => {
+                            let seq = conn.next_assign;
+                            conn.next_assign += 1;
+                            conn.closing = true;
+                            conn.buf.clear();
+                            FrameStep::Bad(seq, reason)
+                        }
+                    }
+                }
+            };
+            match step {
+                FrameStep::Frame(seq, request) => {
+                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(epoll, slab, buffer_pool, pending, pool, token, seq, request);
+                }
+                FrameStep::Bad(seq, reason) => {
+                    self.queue_response(
+                        epoll,
+                        slab,
+                        buffer_pool,
+                        token,
+                        seq,
+                        Response::bad_request(&reason),
+                    );
+                    return;
+                }
+                FrameStep::Stop => return,
+            }
+        }
+    }
+
+    /// Routes a parsed request: batched routes gather, scalar routes go to
+    /// the pool, and routing misses answer immediately (in order).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
@@ -634,46 +869,52 @@ impl Reactor {
         pending: &mut [Option<PendingBatch>],
         pool: &ThreadPool,
         token: u64,
+        seq: u64,
         request: Request,
     ) {
         match self.router.resolve(&request) {
-            Resolution::Batched(index) => {
+            Resolution::Route(index) if self.router.route_at(index).policy().is_batched() => {
                 let batch = pending[index].get_or_insert_with(|| PendingBatch {
                     entries: Vec::new(),
                     oldest: Instant::now(),
                 });
-                batch.entries.push((token, request));
-                if batch.entries.len() >= self.router.batch_route(index).policy().max_batch {
+                batch.entries.push((token, seq, request));
+                if batch.entries.len() >= self.router.route_at(index).policy().max_batch {
                     self.flush_batch(pending, index, pool);
                 }
             }
-            Resolution::Scalar(handler) => {
+            Resolution::Route(index) => {
                 self.in_flight.fetch_add(1, Ordering::AcqRel);
+                let route: Arc<Route> = Arc::clone(self.router.route_at(index));
                 let completions = Arc::clone(&self.completions);
                 let waker = Arc::clone(&self.waker);
                 let in_flight = Arc::clone(&self.in_flight);
                 pool.execute(move || {
-                    let response = catch_unwind(AssertUnwindSafe(|| handler(&request)))
-                        .unwrap_or_else(|_| Response::error(500, "handler panicked"));
+                    let response = catch_unwind(AssertUnwindSafe(|| {
+                        let mut out = route.run(std::slice::from_ref(&request));
+                        out.pop().expect("arity asserted by Route::run")
+                    }))
+                    .unwrap_or_else(|_| Response::error(500, "handler panicked"));
                     completions
                         .lock()
                         .expect("completions poisoned")
-                        .push((token, response));
+                        .push((token, seq, response));
                     in_flight.fetch_sub(1, Ordering::AcqRel);
                     waker.wake();
                 });
             }
             Resolution::MethodNotAllowed => {
-                self.finish_with(
+                self.queue_response(
                     epoll,
                     slab,
                     buffer_pool,
                     token,
-                    &Response::error(405, "method not allowed"),
+                    seq,
+                    Response::error(405, "method not allowed"),
                 );
             }
             Resolution::NotFound => {
-                self.finish_with(epoll, slab, buffer_pool, token, &Response::not_found());
+                self.queue_response(epoll, slab, buffer_pool, token, seq, Response::not_found());
             }
         }
     }
@@ -683,26 +924,31 @@ impl Reactor {
         let Some(batch) = pending[index].take() else {
             return;
         };
-        let (tokens, requests): (Vec<u64>, Vec<Request>) = batch.entries.into_iter().unzip();
+        let mut destinations = Vec::with_capacity(batch.entries.len());
+        let mut requests = Vec::with_capacity(batch.entries.len());
+        for (token, seq, request) in batch.entries {
+            destinations.push((token, seq));
+            requests.push(request);
+        }
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats
             .batched_requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         self.in_flight.fetch_add(1, Ordering::AcqRel);
-        let route: Arc<BatchRoute> = Arc::clone(self.router.batch_route(index));
+        let route: Arc<Route> = Arc::clone(self.router.route_at(index));
         let completions = Arc::clone(&self.completions);
         let waker = Arc::clone(&self.waker);
         let in_flight = Arc::clone(&self.in_flight);
         pool.execute(move || {
             let responses =
                 catch_unwind(AssertUnwindSafe(|| route.run(&requests))).unwrap_or_else(|_| {
-                    (0..tokens.len())
+                    (0..destinations.len())
                         .map(|_| Response::error(500, "batch handler panicked"))
                         .collect()
                 });
             let mut queue = completions.lock().expect("completions poisoned");
-            for (token, response) in tokens.into_iter().zip(responses) {
-                queue.push((token, response));
+            for ((token, seq), response) in destinations.into_iter().zip(responses) {
+                queue.push((token, seq, response));
             }
             drop(queue);
             in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -710,45 +956,49 @@ impl Reactor {
         });
     }
 
-    /// Stages a worker-produced response onto its (still live) connection.
-    fn stage_response(
+    /// Queues a completed response on its connection: responses serialize
+    /// strictly in request order, with early finishers parked in the
+    /// reorder queue. The final response of a closing connection is
+    /// stamped `Connection: close`; everything else keep-alive.
+    fn queue_response(
         &self,
         epoll: &Epoll,
         slab: &mut Slab,
         buffer_pool: &mut Vec<Vec<u8>>,
         token: u64,
-        response: &Response,
+        seq: u64,
+        response: Response,
     ) {
-        if slab.get_mut(token).is_none() {
-            return; // Connection died while the response was computed.
-        }
-        self.finish_with(epoll, slab, buffer_pool, token, response);
-    }
-
-    /// Serializes `response` into the connection's write buffer and starts
-    /// (and usually completes) the write.
-    fn finish_with(
-        &self,
-        epoll: &Epoll,
-        slab: &mut Slab,
-        buffer_pool: &mut Vec<Vec<u8>>,
-        token: u64,
-        response: &Response,
-    ) {
-        let Some(conn) = slab.get_mut(token) else {
-            return;
+        let progressed = {
+            let Some(conn) = slab.get_mut(token) else {
+                return; // Connection died while the response was computed.
+            };
+            conn.reorder.push((seq, response));
+            let mut progressed = false;
+            while let Some(position) = conn.reorder.iter().position(|(s, _)| *s == conn.next_flush)
+            {
+                let (_, mut response) = conn.reorder.swap_remove(position);
+                let last = conn.closing && conn.next_flush + 1 == conn.next_assign;
+                response.set_disposition(if last {
+                    Disposition::Close
+                } else {
+                    Disposition::KeepAlive
+                });
+                response.write_into(&mut conn.out);
+                conn.next_flush += 1;
+                progressed = true;
+            }
+            progressed
         };
-        conn.out.clear();
-        response.write_into(&mut conn.out);
-        conn.written = 0;
-        conn.state = ConnState::Writing;
-        conn.since = Instant::now();
-        self.write_ready(epoll, slab, buffer_pool, token);
+        if progressed {
+            self.try_write(epoll, slab, buffer_pool, token);
+        }
     }
 
-    /// Writes as much of the staged response as the socket accepts;
-    /// closes on completion, re-arms `EPOLLOUT` on short writes.
-    fn write_ready(
+    /// Writes as much of the staged response bytes as the socket accepts;
+    /// closes when a closing connection fully drains, re-arms `EPOLLOUT`
+    /// on short writes.
+    fn try_write(
         &self,
         epoll: &Epoll,
         slab: &mut Slab,
@@ -762,12 +1012,61 @@ impl Reactor {
             push_staged(conn)
         };
         match outcome {
-            WriteOutcome::Blocked(fd) => {
-                let _ = epoll.modify(fd, EPOLLOUT, token);
+            WriteOutcome::Done => {
+                let close_now = {
+                    let conn = slab.get_mut(token).expect("written just now");
+                    conn.out.clear();
+                    conn.written = 0;
+                    conn.since = Instant::now();
+                    conn.closing && conn.pending_responses() == 0
+                };
+                if close_now {
+                    self.close_conn(epoll, slab, buffer_pool, token);
+                } else {
+                    self.sync_interest(epoll, slab, token);
+                }
             }
-            WriteOutcome::Done | WriteOutcome::Failed => {
-                self.close_conn(epoll, slab, buffer_pool, token);
-            }
+            WriteOutcome::Blocked => self.sync_interest(epoll, slab, token),
+            WriteOutcome::Failed => self.close_conn(epoll, slab, buffer_pool, token),
+        }
+    }
+
+    /// Reconciles the connection's epoll registration with its state:
+    /// `EPOLLIN` while it still accepts requests, `EPOLLOUT` while staged
+    /// bytes remain unwritten.
+    fn sync_interest(&self, epoll: &Epoll, slab: &mut Slab, token: u64) {
+        let Some(conn) = slab.get_mut(token) else {
+            return;
+        };
+        let mut desired = 0;
+        if !conn.closing {
+            desired |= EPOLLIN;
+        }
+        if conn.written < conn.out.len() {
+            desired |= EPOLLOUT;
+        }
+        if desired != conn.interest {
+            conn.interest = desired;
+            let fd = conn.stream.as_raw_fd();
+            let _ = epoll.modify(fd, desired, token);
+        }
+    }
+
+    /// Closes a connection that has flipped to closing with nothing left
+    /// to compute or write (the try_write path handles the staged-bytes
+    /// case; this covers closings decided with an already-empty queue).
+    fn close_if_drained(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        token: u64,
+    ) {
+        let done = slab
+            .get_mut(token)
+            .is_some_and(|conn| conn.closing && conn.drained());
+        if done {
+            self.close_conn(epoll, slab, buffer_pool, token);
         }
     }
 
@@ -793,28 +1092,25 @@ impl Reactor {
 }
 
 /// Result of draining a readable socket into its accumulation buffer.
-enum ReadOutcome {
-    /// No complete request yet; keep the connection in `Reading`.
-    Partial,
-    /// Peer closed or the socket failed; drop the connection.
+enum Pull {
+    /// Bytes (possibly none) were appended; `eof` reports a half-close.
+    Data { eof: bool },
+    /// The socket failed or the peer vanished; drop the connection.
     Closed,
-    /// The buffer can never become a valid request; answer 400.
-    Reject(String),
-    /// A full request was framed.
-    Complete(Request),
+    /// The accumulation buffer hit its hard cap; answer 400 and close.
+    TooLarge,
 }
 
-/// Reads everything currently available, then attempts to frame a request.
-fn pull_and_frame(conn: &mut Conn) -> ReadOutcome {
+/// Reads everything currently available into the rolling buffer.
+fn pull_bytes(conn: &mut Conn) -> Pull {
     let mut chunk = [0u8; READ_CHUNK];
     let mut eof = false;
     loop {
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
-                // Peer half-closed its write side. A complete request may
+                // Peer half-closed its write side. Complete requests may
                 // already be buffered (shutdown-after-send is a legal
-                // `Connection: close` client pattern) — fall through to
-                // framing instead of dropping it.
+                // client pattern) — the caller frames them before closing.
                 eof = true;
                 break;
             }
@@ -824,29 +1120,23 @@ fn pull_and_frame(conn: &mut Conn) -> ReadOutcome {
                 // connections, not slow-but-active ones.
                 conn.since = Instant::now();
                 if conn.buf.len() > MAX_CONN_BUF {
-                    return ReadOutcome::Reject("request too large".to_owned());
+                    return Pull::TooLarge;
                 }
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
             Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Closed,
+            Err(_) => return Pull::Closed,
         }
     }
-    match Request::try_parse(&conn.buf) {
-        // EOF with an incomplete frame can never complete: drop it.
-        Ok(None) if eof => ReadOutcome::Closed,
-        Ok(None) => ReadOutcome::Partial,
-        Ok(Some((request, _consumed))) => ReadOutcome::Complete(request),
-        Err(reason) => ReadOutcome::Reject(reason),
-    }
+    Pull::Data { eof }
 }
 
 /// Result of pushing staged response bytes to the socket.
 enum WriteOutcome {
-    /// Everything written; close the connection (`Connection: close`).
+    /// Everything currently staged has been written.
     Done,
     /// Socket buffer full; re-arm `EPOLLOUT` on this fd.
-    Blocked(std::os::fd::RawFd),
+    Blocked,
     /// The socket failed; drop the connection.
     Failed,
 }
@@ -859,9 +1149,13 @@ fn push_staged(conn: &mut Conn) -> WriteOutcome {
         }
         match conn.stream.write(&conn.out[conn.written..]) {
             Ok(0) => return WriteOutcome::Failed,
-            Ok(n) => conn.written += n,
+            Ok(n) => {
+                conn.written += n;
+                // Progress resets the idle clock, mirroring the read side.
+                conn.since = Instant::now();
+            }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                return WriteOutcome::Blocked(conn.stream.as_raw_fd());
+                return WriteOutcome::Blocked;
             }
             Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return WriteOutcome::Failed,
@@ -903,6 +1197,8 @@ mod tests {
         assert_eq!(response.status, 404);
 
         assert!(handle.request_count() >= 3);
+        // One persistent connection carried all three requests.
+        assert_eq!(handle.stats().connections(), 1);
         handle.stop();
     }
 
@@ -928,9 +1224,9 @@ mod tests {
     }
 
     #[test]
-    fn batch_route_coalesces_concurrent_requests() {
+    fn batched_route_coalesces_concurrent_requests() {
         // Deterministic gathering: two slow scalar requests occupy both
-        // workers, so the batch route's requests pile up (the pipeline is
+        // workers, so the batched route's requests pile up (the pipeline is
         // never idle and the gather window is far away) and flush together
         // once the workers free up.
         let mut router = Router::new();
@@ -938,20 +1234,18 @@ mod tests {
             thread::sleep(Duration::from_millis(500));
             Response::ok("text/plain", b"slow".to_vec())
         });
-        router.get_batched(
+        router.route(
+            "GET",
             "/batch/",
             BatchPolicy {
                 max_batch: 64,
                 gather_window: Duration::from_secs(10),
             },
-            |requests| {
-                requests
-                    .iter()
-                    .map(|r| {
-                        let uid = r.query_param("uid").unwrap_or("?");
-                        Response::ok("text/plain", format!("u{uid}").into_bytes())
-                    })
-                    .collect()
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(requests.iter().map(|r| {
+                    let uid = r.query_param("uid").unwrap_or("?");
+                    Response::ok("text/plain", format!("u{uid}").into_bytes())
+                }));
             },
         );
         let server = ReactorServer::bind("127.0.0.1:0", 2).unwrap();
@@ -993,9 +1287,72 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_deliver_a_ready_made_batch() {
+        // Three requests written back-to-back on one socket arrive in one
+        // read and join the same gather — the keep-alive redesign's
+        // "ready-made batch" without paying the gather window.
+        let mut router = Router::new();
+        router.route(
+            "GET",
+            "/batch/",
+            BatchPolicy {
+                max_batch: 64,
+                gather_window: Duration::from_millis(200),
+            },
+            |requests: &[Request], out: &mut Vec<Response>| {
+                let size = requests.len();
+                out.extend(requests.iter().map(|r| {
+                    let uid = r.query_param("uid").unwrap_or("?");
+                    Response::ok("text/plain", format!("u{uid}:n{size}").into_bytes())
+                }));
+            },
+        );
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        for uid in 0..3 {
+            wire.extend_from_slice(
+                format!("GET /batch/?uid={uid} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+            );
+        }
+        stream.write_all(&wire).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        // All three answered in request order, each reporting batch size 3.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut responses = Vec::new();
+        while responses.len() < 3 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early");
+            buf.extend_from_slice(&chunk[..n]);
+            while let Some((response, consumed)) = Response::try_parse(&buf).unwrap() {
+                buf.drain(..consumed);
+                responses.push(response);
+            }
+        }
+        for (uid, response) in responses.iter().enumerate() {
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, format!("u{uid}:n3").into_bytes());
+            assert_eq!(response.header("connection"), Some("keep-alive"));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.batched_requests(), 3);
+        assert_eq!(stats.batches(), 1, "pipelined burst split across batches");
+        assert_eq!(stats.connections(), 1);
+        handle.stop();
+    }
+
+    #[test]
     fn half_closed_client_still_gets_a_response() {
-        // shutdown(SHUT_WR) after sending is a legal Connection: close
-        // client pattern; the buffered request must still be served.
+        // shutdown(SHUT_WR) after sending is a legal client pattern; the
+        // buffered request must still be served (with Connection: close,
+        // since nothing further can arrive).
         use std::io::{Read as _, Write as _};
         let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
         let addr = server.local_addr();
@@ -1009,6 +1366,7 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 200"), "got: {response}");
+        assert!(response.contains("connection: close"), "got: {response}");
         assert!(response.ends_with("pong"), "got: {response}");
         handle.stop();
     }
@@ -1025,6 +1383,7 @@ mod tests {
         let mut buf = String::new();
         let _ = stream.read_to_string(&mut buf);
         assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+        assert!(buf.contains("connection: close"), "got: {buf}");
         handle.stop();
     }
 
@@ -1036,6 +1395,8 @@ mod tests {
         let client = HttpClient::new(addr);
         assert_eq!(client.post("/ping", b"x").unwrap().status, 405);
         assert_eq!(client.get("/nope").unwrap().status, 404);
+        // Errors do not end the connection; both rode one socket.
+        assert_eq!(handle.stats().connections(), 1);
         handle.stop();
     }
 
@@ -1078,6 +1439,10 @@ mod tests {
         let response = client.get("/big").unwrap();
         assert_eq!(response.status, 200);
         assert_eq!(response.body, expected);
+        // And the connection survives for a second round trip.
+        let response = client.get("/big").unwrap();
+        assert_eq!(response.body.len(), 8 * 1024 * 1024);
+        assert_eq!(handle.stats().connections(), 1);
         handle.stop();
     }
 }

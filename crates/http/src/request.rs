@@ -22,6 +22,9 @@ pub struct Request {
     pub headers: HashMap<String, String>,
     /// Raw body bytes (already length-delimited by `Content-Length`).
     pub body: Vec<u8>,
+    /// Minor HTTP/1.x version from the request line (`0` for HTTP/1.0,
+    /// `1` for HTTP/1.1) — one input to [`Request::wants_keep_alive`].
+    pub minor_version: u8,
 }
 
 impl Request {
@@ -60,6 +63,30 @@ impl Request {
             .map(String::as_str)
     }
 
+    /// Whether the client asked to keep the connection open after this
+    /// request: an explicit `Connection` header wins (token list,
+    /// case-insensitive), otherwise HTTP/1.1 defaults to keep-alive and
+    /// HTTP/1.0 to close.
+    ///
+    /// The serving front-ends combine this with their own limits
+    /// (max-requests-per-connection, shutdown) to choose each response's
+    /// [`crate::response::Disposition`].
+    #[must_use]
+    pub fn wants_keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    return true;
+                }
+            }
+        }
+        self.minor_version >= 1
+    }
+
     /// Parses one request from a stream.
     ///
     /// # Errors
@@ -67,7 +94,17 @@ impl Request {
     /// Returns a descriptive string on malformed or oversized input (the
     /// server maps it to `400 Bad Request`).
     pub fn parse<R: Read>(stream: R) -> Result<Self, String> {
-        let mut reader = BufReader::new(stream);
+        Self::parse_from(&mut BufReader::new(stream))
+    }
+
+    /// Parses one request from an existing buffered reader — the blocking
+    /// server's keep-alive loop, where one `BufReader` must persist across
+    /// requests so pipelined bytes it has already buffered are not lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on malformed or oversized input.
+    pub fn parse_from<R: BufRead>(reader: &mut R) -> Result<Self, String> {
         let mut line = String::new();
         reader
             .read_line(&mut line)
@@ -84,9 +121,10 @@ impl Request {
         let version = parts
             .next()
             .ok_or_else(|| "missing http version".to_owned())?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(format!("unsupported version {version}"));
-        }
+        let minor_version = version
+            .strip_prefix("HTTP/1.")
+            .and_then(|minor| minor.parse::<u8>().ok())
+            .ok_or_else(|| format!("unsupported version {version}"))?;
 
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_owned(), parse_query(q)),
@@ -136,6 +174,7 @@ impl Request {
             query,
             headers,
             body,
+            minor_version,
         })
     }
 
@@ -345,6 +384,48 @@ mod tests {
         assert!(Request::try_parse(raw.as_bytes()).is_err());
         // A malformed request line errors once the header block is complete.
         assert!(Request::try_parse(b"NONSENSE\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn keep_alive_negotiation() {
+        // HTTP/1.1 defaults to keep-alive; an explicit close wins.
+        assert!(parse_str("GET /x HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        assert!(!parse_str("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        assert!(!parse_str("GET /x HTTP/1.1\r\nconnection: CLOSE\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        // HTTP/1.0 defaults to close; an explicit keep-alive wins.
+        let old = parse_str("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(old.minor_version, 0);
+        assert!(!old.wants_keep_alive());
+        assert!(
+            parse_str("GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .wants_keep_alive()
+        );
+        // Token lists are scanned, not string-matched.
+        assert!(
+            !parse_str("GET /x HTTP/1.1\r\nConnection: upgrade, close\r\n\r\n")
+                .unwrap()
+                .wants_keep_alive()
+        );
+    }
+
+    #[test]
+    fn parse_from_preserves_pipelined_bytes() {
+        // One persistent BufReader across requests: the second request must
+        // come out of the same reader intact.
+        let raw: &[u8] = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut reader = BufReader::new(raw);
+        let first = Request::parse_from(&mut reader).unwrap();
+        assert_eq!(first.path, "/a");
+        let second = Request::parse_from(&mut reader).unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
     }
 
     #[test]

@@ -1,7 +1,25 @@
-//! HTTP/1.1 response building with optional gzip content encoding.
+//! HTTP/1.1 response building and parsing, with optional gzip content
+//! encoding and an explicit connection [`Disposition`].
 
 use std::collections::HashMap;
 use std::io::{self, Write};
+
+/// What happens to the connection after this response — serialized as the
+/// `Connection` header.
+///
+/// Handlers never choose this: the serving front-end decides per request
+/// from the parsed `Connection`/HTTP-version fields (see
+/// [`crate::Request::wants_keep_alive`]), the connection's
+/// max-requests budget and shutdown state, and stamps it onto the response
+/// just before serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// The connection stays open for further requests.
+    #[default]
+    KeepAlive,
+    /// The connection closes after this response is written.
+    Close,
+}
 
 /// A response under construction (and, on the client side, as parsed).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +30,9 @@ pub struct Response {
     pub headers: HashMap<String, String>,
     /// Body bytes as they will appear on the wire.
     pub body: Vec<u8>,
+    /// Connection lifetime after this response (drives the `Connection`
+    /// header on serialization).
+    pub disposition: Disposition,
 }
 
 impl Response {
@@ -24,6 +45,7 @@ impl Response {
             status: 200,
             headers,
             body,
+            disposition: Disposition::default(),
         }
     }
 
@@ -57,6 +79,7 @@ impl Response {
             status,
             headers,
             body: message.as_bytes().to_vec(),
+            disposition: Disposition::default(),
         }
     }
 
@@ -70,6 +93,24 @@ impl Response {
     #[must_use]
     pub fn bad_request(reason: &str) -> Self {
         Self::error(400, reason)
+    }
+
+    /// Sets the connection disposition (builder form).
+    #[must_use]
+    pub fn with_disposition(mut self, disposition: Disposition) -> Self {
+        self.disposition = disposition;
+        self
+    }
+
+    /// Sets the connection disposition in place.
+    pub fn set_disposition(&mut self, disposition: Disposition) {
+        self.disposition = disposition;
+    }
+
+    /// Whether this response announces `Connection: close`.
+    #[must_use]
+    pub fn closes_connection(&self) -> bool {
+        self.disposition == Disposition::Close
     }
 
     /// Header value (name case-insensitive).
@@ -93,8 +134,9 @@ impl Response {
         }
     }
 
-    /// Serializes into a byte buffer (adds `Content-Length` and
-    /// `Connection: close`), appending to `out`.
+    /// Serializes into a byte buffer, appending to `out`. Adds
+    /// `Content-Length` and derives the `Connection` header from the
+    /// response's [`Disposition`].
     ///
     /// The reactor's write path: the buffer is per-connection and reused, so
     /// staging a response costs no allocation in steady state.
@@ -114,12 +156,15 @@ impl Response {
             let _ = write!(out, "{name}: {value}\r\n");
         }
         let _ = write!(out, "content-length: {}\r\n", self.body.len());
-        let _ = write!(out, "connection: close\r\n\r\n");
+        let connection = match self.disposition {
+            Disposition::KeepAlive => "keep-alive",
+            Disposition::Close => "close",
+        };
+        let _ = write!(out, "connection: {connection}\r\n\r\n");
         out.extend_from_slice(&self.body);
     }
 
-    /// Serializes onto a stream (adds `Content-Length` and
-    /// `Connection: close`) — one buffered write, one syscall in the
+    /// Serializes onto a stream — one buffered write, one syscall in the
     /// common case.
     ///
     /// # Errors
@@ -140,6 +185,117 @@ impl Response {
         self.write_into(&mut buf);
         buf.len()
     }
+
+    /// Incremental parse over an accumulation buffer — the client's
+    /// keep-alive read path, mirroring [`crate::Request::try_parse`].
+    ///
+    /// Returns `Ok(None)` when `buf` does not yet hold a complete
+    /// `Content-Length`-delimited response (read more and call again; this
+    /// includes a complete header block *without* a `Content-Length`, whose
+    /// body is close-delimited — see [`Response::parse_close_delimited`]),
+    /// and `Ok(Some((response, consumed)))` when a full response occupies
+    /// the first `consumed` bytes. The parsed response's
+    /// [`Disposition`] reflects its `Connection` header, so a keep-alive
+    /// response round-trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string on malformed input.
+    pub fn try_parse(buf: &[u8]) -> Result<Option<(Response, usize)>, String> {
+        let Some((status, headers, head_end)) = parse_head(buf)? else {
+            return Ok(None);
+        };
+        let Some(length) = headers.get("content-length") else {
+            return Ok(None); // Close-delimited body: needs EOF.
+        };
+        let length: usize = length
+            .parse()
+            .map_err(|_| "bad content-length".to_owned())?;
+        let total = head_end + length;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = buf[head_end..total].to_vec();
+        Ok(Some((assemble(status, headers, body), total)))
+    }
+
+    /// Parses a close-delimited response: the peer signalled end-of-body by
+    /// closing the connection, so everything after the header block is the
+    /// body. Used by the client when a response carries no
+    /// `Content-Length`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string when the header block is incomplete or
+    /// malformed — or when a declared `Content-Length` disagrees with the
+    /// bytes actually received, so a server dying mid-body surfaces as an
+    /// error instead of a silently truncated 200.
+    pub fn parse_close_delimited(buf: &[u8]) -> Result<Response, String> {
+        match parse_head(buf)? {
+            Some((status, headers, head_end)) => {
+                let body = buf[head_end..].to_vec();
+                if let Some(length) = headers.get("content-length") {
+                    let length: usize = length
+                        .parse()
+                        .map_err(|_| "bad content-length".to_owned())?;
+                    if body.len() != length {
+                        return Err(format!(
+                            "connection closed mid-body ({} of {length} bytes)",
+                            body.len()
+                        ));
+                    }
+                }
+                Ok(assemble(status, headers, body))
+            }
+            None => Err("connection closed mid-header".to_owned()),
+        }
+    }
+}
+
+/// Builds a `Response` from parsed parts, deriving the disposition from
+/// the `Connection` header (absent ⇒ keep-alive, the HTTP/1.1 default).
+fn assemble(status: u16, headers: HashMap<String, String>, body: Vec<u8>) -> Response {
+    let disposition = match headers.get("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => Disposition::Close,
+        _ => Disposition::KeepAlive,
+    };
+    Response {
+        status,
+        headers,
+        body,
+        disposition,
+    }
+}
+
+/// A parsed response head: `(status, headers, offset_past_blank_line)`.
+type ResponseHead = (u16, HashMap<String, String>, usize);
+
+/// Parses the status line + header block if `buf` holds a complete one.
+fn parse_head(buf: &[u8]) -> Result<Option<ResponseHead>, String> {
+    let Some(blank) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head =
+        std::str::from_utf8(&buf[..blank]).map_err(|_| "non-utf8 response head".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().ok_or("empty response")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad version {version}"));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or("missing status code")?
+        .parse()
+        .map_err(|_| "non-numeric status".to_owned())?;
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+    }
+    Ok(Some((status, headers, blank + 4)))
 }
 
 #[cfg(test)]
@@ -178,6 +334,98 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 4\r\n"));
         assert!(text.ends_with("\r\n\r\nbody"));
+    }
+
+    #[test]
+    fn connection_header_derives_from_disposition() {
+        // Regression: `write_into` used to hardcode `Connection: close`.
+        let keep = Response::ok("text/plain", b"k".to_vec());
+        let mut buf = Vec::new();
+        keep.write_into(&mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "got: {text}");
+        assert!(!text.contains("connection: close"), "got: {text}");
+
+        let close = Response::ok("text/plain", b"c".to_vec()).with_disposition(Disposition::Close);
+        let mut buf = Vec::new();
+        close.write_into(&mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("connection: close\r\n"), "got: {text}");
+    }
+
+    #[test]
+    fn keep_alive_response_round_trips_through_client_parsing() {
+        // Regression for the keep-alive redesign: a served keep-alive
+        // response must come back intact through the client's incremental
+        // parser, reporting the exact consumed length (so pipelined
+        // responses behind it are preserved).
+        let response = Response::ok("application/json", b"{\"ok\":true}".to_vec());
+        assert_eq!(response.disposition, Disposition::KeepAlive);
+        let mut wire = Vec::new();
+        response.write_into(&mut wire);
+        let wire_len = wire.len();
+        wire.extend_from_slice(b"HTTP/1.1 200 OK\r\n"); // pipelined next head
+        let (parsed, consumed) = Response::try_parse(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire_len);
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, response.body);
+        assert_eq!(parsed.disposition, Disposition::KeepAlive);
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn close_response_parses_with_close_disposition() {
+        let mut wire = Vec::new();
+        Response::ok("text/plain", b"bye".to_vec())
+            .with_disposition(Disposition::Close)
+            .write_into(&mut wire);
+        let (parsed, _) = Response::try_parse(&wire).unwrap().unwrap();
+        assert!(parsed.closes_connection());
+    }
+
+    #[test]
+    fn try_parse_incremental_framing() {
+        let mut wire = Vec::new();
+        Response::ok("text/plain", b"hello".to_vec()).write_into(&mut wire);
+        for cut in 0..wire.len() {
+            assert_eq!(
+                Response::try_parse(&wire[..cut]).unwrap(),
+                None,
+                "cut {cut}"
+            );
+        }
+        let (parsed, consumed) = Response::try_parse(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn close_delimited_body_needs_eof() {
+        let raw = b"HTTP/1.1 404 Not Found\r\n\r\ngone";
+        // No content-length: try_parse cannot frame it…
+        assert_eq!(Response::try_parse(raw).unwrap(), None);
+        // …but at EOF the remainder is the body.
+        let parsed = Response::parse_close_delimited(raw).unwrap();
+        assert_eq!(parsed.status, 404);
+        assert_eq!(parsed.body, b"gone");
+    }
+
+    #[test]
+    fn try_parse_rejects_garbage() {
+        assert!(Response::try_parse(b"not http\r\n\r\n").is_err());
+        assert!(Response::try_parse(b"HTTP/1.1 abc\r\n\r\n").is_err());
+        assert!(Response::parse_close_delimited(b"HTTP/1.1 200").is_err());
+    }
+
+    #[test]
+    fn truncated_content_length_body_is_an_error_at_eof() {
+        // A server dying mid-body must not surface as a silent 200 with a
+        // short body (the old read_exact path errored; so must this one).
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 100\r\n\r\nonly-a-little";
+        assert_eq!(Response::try_parse(raw).unwrap(), None);
+        let err = Response::parse_close_delimited(raw).unwrap_err();
+        assert!(err.contains("mid-body"), "got: {err}");
     }
 
     #[test]

@@ -1,30 +1,62 @@
-//! Path-prefix routing, with optional *batch routes* for request
-//! coalescing.
+//! Path-prefix routing through a single [`Handler`] trait.
 //!
-//! A scalar route handles one request at a time. A **batch route** declares
-//! that concurrent requests to the same endpoint may be gathered (up to a
-//! cap, within a gather window) and handed to one handler call — the hook
-//! the reactor front-end uses to funnel `/online/` bursts into a single
-//! `HyRecServer::build_jobs` call. On the thread-per-connection server a
-//! batch route simply runs with batches of one, so the two server
-//! front-ends share one router type.
+//! Every route is a batched handler behind a [`BatchPolicy`]: the handler
+//! receives a slice of requests and must append exactly one response per
+//! request, in order. A *scalar* route is the policy-of-1 special case
+//! ([`BatchPolicy::scalar`]) — it is never gathered, so plain
+//! request/response endpoints pay nothing for the unified shape. Routes
+//! whose policy allows more than one request per call are *coalescable*:
+//! the reactor front-end gathers concurrent (and pipelined) requests to
+//! them — up to the policy cap, within the gather window — and hands whole
+//! bursts to one handler call. On the thread-per-connection server every
+//! route simply runs with batches of one, so the two server front-ends
+//! share one router type.
 
 use crate::request::Request;
 use crate::response::Response;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A request handler.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+/// A request handler: the one trait both server front-ends dispatch
+/// through.
+///
+/// `handle` must push exactly one response per request onto `out`, in
+/// input order. Closures of shape `Fn(&[Request], &mut Vec<Response>)`
+/// implement it via a blanket impl; plain request/response closures wrap
+/// with [`Scalar`].
+pub trait Handler: Send + Sync {
+    /// Serves a batch of requests, appending one response per request (in
+    /// order) to `out`.
+    fn handle(&self, batch: &[Request], out: &mut Vec<Response>);
+}
 
-/// A batched request handler: must return exactly one response per request,
-/// in input order.
-pub type BatchHandler = Arc<dyn Fn(&[Request]) -> Vec<Response> + Send + Sync>;
+impl<F> Handler for F
+where
+    F: Fn(&[Request], &mut Vec<Response>) + Send + Sync,
+{
+    fn handle(&self, batch: &[Request], out: &mut Vec<Response>) {
+        self(batch, out);
+    }
+}
 
-/// Coalescing parameters of a batch route.
+/// Adapter turning a plain `Fn(&Request) -> Response` into a [`Handler`]
+/// (applied element-wise — the shape scalar routes are written in).
+pub struct Scalar<F>(pub F);
+
+impl<F> Handler for Scalar<F>
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, batch: &[Request], out: &mut Vec<Response>) {
+        out.extend(batch.iter().map(&self.0));
+    }
+}
+
+/// Coalescing parameters of a route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
-    /// Flush as soon as this many requests are pending.
+    /// Flush as soon as this many requests are pending. `1` disables
+    /// gathering entirely (the scalar special case).
     pub max_batch: usize,
     /// Flush when the oldest pending request has waited this long (the
     /// reactor also flushes early whenever the event loop goes quiescent,
@@ -41,15 +73,32 @@ impl Default for BatchPolicy {
     }
 }
 
-/// A coalescable route: prefix + policy + batched handler.
-pub struct BatchRoute {
+impl BatchPolicy {
+    /// The policy-of-1: dispatch immediately, never gather.
+    #[must_use]
+    pub fn scalar() -> Self {
+        Self {
+            max_batch: 1,
+            gather_window: Duration::ZERO,
+        }
+    }
+
+    /// Whether this policy ever gathers more than one request per call.
+    #[must_use]
+    pub fn is_batched(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+/// A registered route: method + prefix + policy + handler.
+pub struct Route {
     method: String,
     prefix: String,
     policy: BatchPolicy,
-    handler: BatchHandler,
+    handler: Box<dyn Handler>,
 }
 
-impl BatchRoute {
+impl Route {
     /// The coalescing parameters.
     #[must_use]
     pub fn policy(&self) -> BatchPolicy {
@@ -63,7 +112,8 @@ impl BatchRoute {
     /// Panics if the handler breaks the one-response-per-request contract.
     #[must_use]
     pub fn run(&self, requests: &[Request]) -> Vec<Response> {
-        let responses = (self.handler)(requests);
+        let mut responses = Vec::with_capacity(requests.len());
+        self.handler.handle(requests, &mut responses);
         assert_eq!(
             responses.len(),
             requests.len(),
@@ -78,18 +128,16 @@ impl BatchRoute {
 
 /// How a request resolves against the routing table.
 pub enum Resolution {
-    /// A scalar route matched.
-    Scalar(Handler),
-    /// A batch route matched; the index is stable and usable with
-    /// [`Router::batch_route`].
-    Batched(usize),
+    /// A route matched; the index is stable and usable with
+    /// [`Router::route_at`].
+    Route(usize),
     /// A path matched but with a different method.
     MethodNotAllowed,
     /// Nothing matched.
     NotFound,
 }
 
-/// Longest-prefix router.
+/// Longest-prefix router over a single [`Handler`] route table.
 ///
 /// A prefix registered with a trailing slash also matches the bare path:
 /// `/online/` matches `/online` (and vice versa `/online` matches
@@ -106,22 +154,28 @@ pub enum Resolution {
 /// ```
 #[derive(Clone, Default)]
 pub struct Router {
-    routes: Vec<(String, String, Handler)>,
-    batch_routes: Vec<Arc<BatchRoute>>,
+    routes: Vec<Arc<Route>>,
 }
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let paths: Vec<&str> = self.routes.iter().map(|(_, p, _)| p.as_str()).collect();
-        let batched: Vec<&str> = self
-            .batch_routes
+        let paths: Vec<String> = self
+            .routes
             .iter()
-            .map(|r| r.prefix.as_str())
+            .map(|r| {
+                format!(
+                    "{} {}{}",
+                    r.method,
+                    r.prefix,
+                    if r.policy.is_batched() {
+                        " (batched)"
+                    } else {
+                        ""
+                    }
+                )
+            })
             .collect();
-        f.debug_struct("Router")
-            .field("routes", &paths)
-            .field("batch_routes", &batched)
-            .finish()
+        f.debug_struct("Router").field("routes", &paths).finish()
     }
 }
 
@@ -145,143 +199,97 @@ impl Router {
         Self::default()
     }
 
-    /// Registers a handler for `GET` requests with the given path prefix.
-    pub fn get<F>(&mut self, prefix: &str, handler: F) -> &mut Self
-    where
-        F: Fn(&Request) -> Response + Send + Sync + 'static,
-    {
-        self.route("GET", prefix, handler)
-    }
-
-    /// Registers a handler for `POST` requests with the given path prefix.
-    pub fn post<F>(&mut self, prefix: &str, handler: F) -> &mut Self
-    where
-        F: Fn(&Request) -> Response + Send + Sync + 'static,
-    {
-        self.route("POST", prefix, handler)
-    }
-
-    /// Registers a handler for an arbitrary method.
-    pub fn route<F>(&mut self, method: &str, prefix: &str, handler: F) -> &mut Self
-    where
-        F: Fn(&Request) -> Response + Send + Sync + 'static,
-    {
-        self.routes.push((
-            method.to_ascii_uppercase(),
-            prefix.to_owned(),
-            Arc::new(handler),
-        ));
-        self
-    }
-
-    /// Registers a coalescable `GET` route: the reactor gathers concurrent
-    /// requests per `policy` and hands them to `handler` as one batch.
-    pub fn get_batched<F>(&mut self, prefix: &str, policy: BatchPolicy, handler: F) -> &mut Self
-    where
-        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
-    {
-        self.route_batched("GET", prefix, policy, handler)
-    }
-
-    /// Registers a coalescable `POST` route.
-    pub fn post_batched<F>(&mut self, prefix: &str, policy: BatchPolicy, handler: F) -> &mut Self
-    where
-        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
-    {
-        self.route_batched("POST", prefix, policy, handler)
-    }
-
-    /// Registers a coalescable route for an arbitrary method.
-    pub fn route_batched<F>(
+    /// Registers a handler for an arbitrary method under `prefix` with an
+    /// explicit coalescing policy — the one registration point every sugar
+    /// method funnels through.
+    pub fn route<H: Handler + 'static>(
         &mut self,
         method: &str,
         prefix: &str,
         policy: BatchPolicy,
-        handler: F,
-    ) -> &mut Self
-    where
-        F: Fn(&[Request]) -> Vec<Response> + Send + Sync + 'static,
-    {
-        self.batch_routes.push(Arc::new(BatchRoute {
+        handler: H,
+    ) -> &mut Self {
+        self.routes.push(Arc::new(Route {
             method: method.to_ascii_uppercase(),
             prefix: prefix.to_owned(),
             policy,
-            handler: Arc::new(handler),
+            handler: Box::new(handler),
         }));
         self
     }
 
-    /// Number of registered batch routes.
-    #[must_use]
-    pub fn batch_route_count(&self) -> usize {
-        self.batch_routes.len()
+    /// Registers a scalar (policy-of-1) handler for `GET` requests.
+    pub fn get<F>(&mut self, prefix: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route("GET", prefix, BatchPolicy::scalar(), Scalar(handler))
     }
 
-    /// The batch route at `index` (as returned by
-    /// [`Resolution::Batched`]).
+    /// Registers a scalar (policy-of-1) handler for `POST` requests.
+    pub fn post<F>(&mut self, prefix: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route("POST", prefix, BatchPolicy::scalar(), Scalar(handler))
+    }
+
+    /// Number of registered routes.
+    #[must_use]
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// The route at `index` (as returned by [`Resolution::Route`]).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     #[must_use]
-    pub fn batch_route(&self, index: usize) -> &Arc<BatchRoute> {
-        &self.batch_routes[index]
+    pub fn route_at(&self, index: usize) -> &Arc<Route> {
+        &self.routes[index]
     }
 
-    /// Resolves a request against scalar and batch routes combined,
-    /// longest prefix first.
+    /// Resolves a request against the route table, longest prefix first;
+    /// on equal prefix length a coalescable route beats a scalar one (more
+    /// specific intent), otherwise the earlier registration wins.
     #[must_use]
     pub fn resolve(&self, request: &Request) -> Resolution {
-        let mut best_scalar: Option<&(String, String, Handler)> = None;
-        let mut best_batch: Option<(usize, &BatchRoute)> = None;
+        let mut best: Option<(usize, &Route)> = None;
         let mut path_matched = false;
-        for route in &self.routes {
-            let (method, prefix, _) = route;
-            if path_matches(prefix, &request.path) {
-                path_matched = true;
-                if *method == request.method
-                    && best_scalar.is_none_or(|(_, b, _)| prefix.len() > b.len())
-                {
-                    best_scalar = Some(route);
-                }
+        for (index, route) in self.routes.iter().enumerate() {
+            if !path_matches(&route.prefix, &request.path) {
+                continue;
+            }
+            path_matched = true;
+            if route.method != request.method {
+                continue;
+            }
+            let better = best.is_none_or(|(_, b)| {
+                route.prefix.len() > b.prefix.len()
+                    || (route.prefix.len() == b.prefix.len()
+                        && route.policy.is_batched()
+                        && !b.policy.is_batched())
+            });
+            if better {
+                best = Some((index, route));
             }
         }
-        for (index, route) in self.batch_routes.iter().enumerate() {
-            if path_matches(&route.prefix, &request.path) {
-                path_matched = true;
-                if route.method == request.method
-                    && best_batch.is_none_or(|(_, b)| route.prefix.len() > b.prefix.len())
-                {
-                    best_batch = Some((index, route));
-                }
-            }
-        }
-        match (best_scalar, best_batch) {
-            // Between a scalar and a batch match, the longer prefix wins;
-            // ties go to the batch route (more specific intent).
-            (Some((_, prefix, handler)), Some((index, batch))) => {
-                if prefix.len() > batch.prefix.len() {
-                    Resolution::Scalar(Arc::clone(handler))
-                } else {
-                    Resolution::Batched(index)
-                }
-            }
-            (Some((_, _, handler)), None) => Resolution::Scalar(Arc::clone(handler)),
-            (None, Some((index, _))) => Resolution::Batched(index),
-            (None, None) if path_matched => Resolution::MethodNotAllowed,
-            (None, None) => Resolution::NotFound,
+        match best {
+            Some((index, _)) => Resolution::Route(index),
+            None if path_matched => Resolution::MethodNotAllowed,
+            None => Resolution::NotFound,
         }
     }
 
     /// Dispatches a request to the longest matching prefix; `404` when
     /// nothing matches, `405` when the path matches but the method does
-    /// not. Batch routes run with a batch of one.
+    /// not. Every route runs with a batch of one.
     #[must_use]
     pub fn dispatch(&self, request: &Request) -> Response {
         match self.resolve(request) {
-            Resolution::Scalar(handler) => handler(request),
-            Resolution::Batched(index) => {
-                let mut responses = self.batch_routes[index].run(std::slice::from_ref(request));
+            Resolution::Route(index) => {
+                let mut responses = self.routes[index].run(std::slice::from_ref(request));
                 responses.pop().expect("one response per request")
             }
             Resolution::MethodNotAllowed => Response::error(405, "method not allowed"),
@@ -354,56 +362,94 @@ mod tests {
     }
 
     #[test]
-    fn batch_route_dispatches_scalar_as_batch_of_one() {
+    fn batched_route_dispatches_scalar_as_batch_of_one() {
         let mut router = Router::new();
-        router.get_batched("/batch/", BatchPolicy::default(), |requests| {
-            requests
-                .iter()
-                .map(|r| {
+        router.route(
+            "GET",
+            "/batch/",
+            BatchPolicy::default(),
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(requests.iter().map(|r| {
                     let uid = r.query_param("uid").unwrap_or("?");
                     Response::ok("text/plain", format!("batched:{uid}").into_bytes())
-                })
-                .collect()
-        });
+                }));
+            },
+        );
         assert_eq!(
             router.dispatch(&req("GET", "/batch/?uid=7")).body,
             b"batched:7"
         );
         assert_eq!(router.dispatch(&req("POST", "/batch/")).status, 405);
-        assert_eq!(router.batch_route_count(), 1);
+        assert_eq!(router.route_count(), 1);
+        assert!(router.route_at(0).policy().is_batched());
     }
 
     #[test]
-    fn batch_route_resolution_and_run() {
+    fn route_resolution_and_run() {
         let mut router = Router::new();
         router.get("/a/", |_| Response::ok("text/plain", b"scalar".to_vec()));
-        router.get_batched("/a/deeper/", BatchPolicy::default(), |requests| {
-            vec![Response::ok("text/plain", b"batch".to_vec()); requests.len()]
-        });
-        // Longest prefix wins across kinds.
+        router.route(
+            "GET",
+            "/a/deeper/",
+            BatchPolicy::default(),
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(
+                    requests
+                        .iter()
+                        .map(|_| Response::ok("text/plain", b"batch".to_vec())),
+                );
+            },
+        );
+        // Longest prefix wins across policies.
         match router.resolve(&req("GET", "/a/deeper/x")) {
-            Resolution::Batched(index) => {
+            Resolution::Route(index) => {
+                assert!(router.route_at(index).policy().is_batched());
                 let out = router
-                    .batch_route(index)
+                    .route_at(index)
                     .run(&[req("GET", "/a/deeper/x"), req("GET", "/a/deeper/y")]);
                 assert_eq!(out.len(), 2);
                 assert_eq!(out[0].body, b"batch");
             }
-            _ => panic!("expected batch resolution"),
+            _ => panic!("expected route resolution"),
         }
         match router.resolve(&req("GET", "/a/only")) {
-            Resolution::Scalar(handler) => {
-                assert_eq!(handler(&req("GET", "/a/only")).body, b"scalar");
+            Resolution::Route(index) => {
+                assert!(!router.route_at(index).policy().is_batched());
+                assert_eq!(router.dispatch(&req("GET", "/a/only")).body, b"scalar");
             }
-            _ => panic!("expected scalar resolution"),
+            _ => panic!("expected route resolution"),
         }
+    }
+
+    #[test]
+    fn batched_beats_scalar_on_equal_prefix() {
+        let mut router = Router::new();
+        router.get("/same/", |_| Response::ok("text/plain", b"scalar".to_vec()));
+        router.route(
+            "GET",
+            "/same/",
+            BatchPolicy::default(),
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(
+                    requests
+                        .iter()
+                        .map(|_| Response::ok("text/plain", b"batch".to_vec())),
+                );
+            },
+        );
+        assert_eq!(router.dispatch(&req("GET", "/same/")).body, b"batch");
     }
 
     #[test]
     #[should_panic(expected = "batch handler")]
     fn batch_handler_arity_is_enforced() {
         let mut router = Router::new();
-        router.get_batched("/bad/", BatchPolicy::default(), |_| Vec::new());
+        router.route(
+            "GET",
+            "/bad/",
+            BatchPolicy::default(),
+            |_: &[Request], _: &mut Vec<Response>| {},
+        );
         let _ = router.dispatch(&req("GET", "/bad/"));
     }
 }

@@ -1,8 +1,11 @@
-//! A fixed-size thread pool for request handling.
+//! A fixed-size thread pool shared by both front-ends.
 //!
 //! Deliberately simple: a bounded crew of workers pulling closures off a
-//! shared channel. The pool size bounds request concurrency, which is the
-//! mechanism behind the response-time knee in Figure 9.
+//! shared channel. Behind the blocking [`crate::server::HttpServer`] a job
+//! is a whole keep-alive *connection* (the pool bounds concurrent
+//! connections — the mechanism behind the response-time knee in Figure 9);
+//! behind the [`crate::reactor::ReactorServer`] a job is one request or
+//! one coalesced batch, so persistent connections never pin a worker.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};

@@ -74,6 +74,7 @@ fn concurrent_online_bodies_match_sequential_scalar_path() {
     let mut joins = Vec::new();
     for u in 0..USERS {
         let expected_body = expected[u as usize].clone();
+        let client = client.clone();
         joins.push(thread::spawn(move || {
             let response = client.get(&format!("/online/?uid={u}")).expect("online");
             assert_eq!(response.status, 200);
@@ -108,6 +109,7 @@ fn interleaved_rate_and_online_traffic_matches_scalar_path() {
     // order is immaterial and the twin can ingest scalarly.
     let mut joins = Vec::new();
     for u in 0..USERS {
+        let client = client.clone();
         joins.push(thread::spawn(move || {
             let fresh = client
                 .get(&format!("/rate/?uid={u}&item={}&like=1", 1000 + u))
@@ -141,6 +143,7 @@ fn interleaved_rate_and_online_traffic_matches_scalar_path() {
     let mut joins = Vec::new();
     for u in 0..USERS {
         let expected_body = expected[u as usize].clone();
+        let client = client.clone();
         joins.push(thread::spawn(move || {
             let response = client.get(&format!("/online/?uid={u}")).expect("online");
             assert_eq!(response.status, 200);
@@ -182,6 +185,7 @@ fn concurrent_knn_posts_match_scalar_apply() {
 
     let mut joins = Vec::new();
     for update in updates.clone() {
+        let client = client.clone();
         joins.push(thread::spawn(move || {
             let response = client
                 .post("/neighbors/", &update.encode())
@@ -203,6 +207,91 @@ fn concurrent_knn_posts_match_scalar_apply() {
         );
     }
     assert_eq!(live.updates_applied(), twin.updates_applied());
+    handle.stop();
+}
+
+#[test]
+fn pipelined_keep_alive_bodies_match_scalar_path_in_order() {
+    // The keep-alive acceptance check: each "browser" holds one persistent
+    // connection and pipelines several /online/ calls back-to-back. The
+    // batched responses must come back on the right connection, in request
+    // order, byte-identical (modulo the Connection header) to the scalar
+    // pipeline — and the pipelined bursts must actually reach the batch
+    // layer as ready-made batches.
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    const PIPELINE: u32 = 3;
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client) = spawn_reactor(&live);
+    let addr = {
+        // Recover the address from a throwaway request (spawn_reactor only
+        // hands back a client).
+        drop(client);
+        handle.addr()
+    };
+
+    let twin_encoder = JobEncoder::new();
+    let expected: Vec<Vec<u8>> = (0..USERS)
+        .map(|u| twin_encoder.encode(&twin.build_job(UserId(u))))
+        .collect();
+
+    let mut joins = Vec::new();
+    for conn_index in 0..USERS / PIPELINE {
+        let uids: Vec<u32> = (0..PIPELINE).map(|i| conn_index * PIPELINE + i).collect();
+        let expected: Vec<Vec<u8>> = uids.iter().map(|&u| expected[u as usize].clone()).collect();
+        joins.push(thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            let mut wire = Vec::new();
+            for &u in &uids {
+                wire.extend_from_slice(
+                    format!("GET /online/?uid={u} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+                );
+            }
+            stream.write_all(&wire).expect("pipeline requests");
+
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 16 * 1024];
+            let mut received = 0usize;
+            while received < uids.len() {
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-pipeline");
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some((response, consumed)) =
+                    hyrec_http::Response::try_parse(&buf).expect("parse")
+                {
+                    buf.drain(..consumed);
+                    assert_eq!(response.status, 200);
+                    assert_eq!(
+                        response.body, expected[received],
+                        "pipelined body diverged for uid {} (position {received})",
+                        uids[received]
+                    );
+                    assert_eq!(response.header("connection"), Some("keep-alive"));
+                    received += 1;
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.batched_requests(), u64::from(USERS));
+    assert_eq!(stats.connections(), u64::from(USERS / PIPELINE));
+    // Every connection pipelined PIPELINE requests in one write, so the
+    // gather layer must have seen far fewer batches than requests.
+    assert!(
+        stats.batches() <= u64::from(USERS / PIPELINE),
+        "pipelining failed to widen batching: {} batches for {} requests",
+        stats.batches(),
+        USERS
+    );
     handle.stop();
 }
 

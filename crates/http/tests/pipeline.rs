@@ -1,0 +1,126 @@
+//! Property tests for pipelined/partial-read request framing — the
+//! invariant the reactor's rolling read buffer depends on: however the
+//! network fragments a byte stream of back-to-back requests,
+//! `Request::try_parse` yields exactly those requests, in order, with no
+//! bytes lost or invented.
+
+use hyrec_http::Request;
+use proptest::prelude::*;
+
+/// A generated request: method selector, path segment, query id, body.
+type Spec = (bool, u8, u16, Vec<u8>);
+
+/// Renders a spec as wire bytes. POSTs carry a `Content-Length` body;
+/// GETs carry a query instead.
+fn render(spec: &Spec) -> Vec<u8> {
+    let (is_post, path_seg, qid, body) = spec;
+    if *is_post {
+        let mut wire = format!(
+            "POST /seg{path_seg}/ HTTP/1.1\r\nhost: hyrec\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body);
+        wire
+    } else {
+        format!("GET /seg{path_seg}/?qid={qid} HTTP/1.1\r\nhost: hyrec\r\n\r\n").into_bytes()
+    }
+}
+
+/// Feeds `stream` into a rolling buffer in chunks split at the given
+/// boundaries, draining complete frames exactly the way the reactor does.
+/// Returns the parsed requests and the total bytes consumed.
+fn frame_chunked(stream: &[u8], cuts: &[usize]) -> (Vec<Request>, usize) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut parsed = Vec::new();
+    let mut consumed_total = 0usize;
+    let feed = |buf: &mut Vec<u8>, parsed: &mut Vec<Request>, total: &mut usize| {
+        while let Some((request, consumed)) =
+            Request::try_parse(buf).expect("generated requests are well-formed")
+        {
+            buf.drain(..consumed);
+            *total += consumed;
+            parsed.push(request);
+        }
+    };
+    let mut offset = 0usize;
+    for &cut in cuts {
+        let cut = cut.min(stream.len());
+        if cut <= offset {
+            continue;
+        }
+        buf.extend_from_slice(&stream[offset..cut]);
+        offset = cut;
+        feed(&mut buf, &mut parsed, &mut consumed_total);
+    }
+    if offset < stream.len() {
+        buf.extend_from_slice(&stream[offset..]);
+        feed(&mut buf, &mut parsed, &mut consumed_total);
+    }
+    assert!(buf.is_empty(), "unconsumed leftover bytes: {}", buf.len());
+    (parsed, consumed_total)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // 2–8 back-to-back requests split at arbitrary byte boundaries parse
+    // to the same requests, in order, consuming every byte exactly once.
+    #[test]
+    fn pipelined_requests_survive_arbitrary_splits(
+        specs in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..200)),
+            2..8usize,
+        ),
+        raw_cuts in proptest::collection::vec(any::<u16>(), 0..12usize),
+    ) {
+        let mut stream = Vec::new();
+        for spec in &specs {
+            stream.extend_from_slice(&render(spec));
+        }
+        // Map the raw cut points into (sorted) positions within the stream.
+        let mut cuts: Vec<usize> = raw_cuts
+            .iter()
+            .map(|&c| c as usize % (stream.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+
+        let (parsed, consumed) = frame_chunked(&stream, &cuts);
+
+        prop_assert_eq!(parsed.len(), specs.len());
+        prop_assert_eq!(consumed, stream.len());
+        for (request, spec) in parsed.iter().zip(&specs) {
+            let (is_post, path_seg, qid, body) = spec;
+            prop_assert_eq!(&request.path, &format!("/seg{}/", path_seg));
+            if *is_post {
+                prop_assert_eq!(&request.method, "POST");
+                prop_assert_eq!(&request.body, body);
+            } else {
+                prop_assert_eq!(&request.method, "GET");
+                let qid_text = qid.to_string();
+                prop_assert_eq!(request.query_param("qid"), Some(qid_text.as_str()));
+                prop_assert!(request.body.is_empty());
+            }
+            prop_assert!(request.wants_keep_alive());
+        }
+    }
+
+    // Byte-at-a-time delivery — the worst fragmentation the kernel can
+    // produce — frames identically to one-shot delivery.
+    #[test]
+    fn byte_at_a_time_equals_one_shot(
+        specs in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..40)),
+            2..5usize,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for spec in &specs {
+            stream.extend_from_slice(&render(spec));
+        }
+        let every_byte: Vec<usize> = (1..=stream.len()).collect();
+        let (trickled, _) = frame_chunked(&stream, &every_byte);
+        let (one_shot, _) = frame_chunked(&stream, &[stream.len()]);
+        prop_assert_eq!(trickled, one_shot);
+    }
+}

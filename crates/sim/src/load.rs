@@ -423,6 +423,48 @@ pub fn spawn_reactor_server(
     (handle, addr)
 }
 
+/// Connection behaviour of the closed-loop load clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Reuse one persistent connection per client (HTTP keep-alive)
+    /// instead of a fresh TCP connect per request.
+    pub keep_alive: bool,
+    /// With `keep_alive`, rotate to a fresh connection after this many
+    /// requests (`0` = never; the server's own budget still applies).
+    pub requests_per_conn: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            keep_alive: true,
+            requests_per_conn: 0,
+        }
+    }
+}
+
+impl LoadOptions {
+    /// The seed behaviour: `Connection: close`, one TCP connect per
+    /// request.
+    #[must_use]
+    pub fn close_per_request() -> Self {
+        Self {
+            keep_alive: false,
+            requests_per_conn: 0,
+        }
+    }
+
+    /// Persistent connections, rotated every `requests_per_conn` requests
+    /// (`0` = never).
+    #[must_use]
+    pub fn persistent(requests_per_conn: usize) -> Self {
+        Self {
+            keep_alive: true,
+            requests_per_conn,
+        }
+    }
+}
+
 /// Outcome of a closed-loop throughput run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Throughput {
@@ -436,10 +478,10 @@ pub struct Throughput {
     pub rps: f64,
 }
 
-/// Closed-loop throughput: `clients` threads each issue
-/// `requests_per_client` requests to `path` (with `?uid=<random>`)
-/// and the aggregate completion rate is measured from a barrier-aligned
-/// start.
+/// Closed-loop throughput in the seed `Connection: close` mode (one TCP
+/// connect per request) — see [`measure_throughput_with`] for the
+/// keep-alive modes. Kept as the baseline so `BENCH_http.json` series stay
+/// comparable across PRs.
 ///
 /// # Panics
 ///
@@ -452,13 +494,44 @@ pub fn measure_throughput(
     clients: usize,
     requests_per_client: usize,
 ) -> Throughput {
+    measure_throughput_with(
+        addr,
+        path,
+        users,
+        clients,
+        requests_per_client,
+        LoadOptions::close_per_request(),
+    )
+}
+
+/// Closed-loop throughput: `clients` threads each issue
+/// `requests_per_client` requests to `path` (with `?uid=<random>`)
+/// and the aggregate completion rate is measured from a barrier-aligned
+/// start. `options` selects the connection mode: persistent keep-alive
+/// sockets (optionally rotated every N requests) or the seed
+/// connect-per-request behaviour.
+///
+/// # Panics
+///
+/// Panics if a client thread panics.
+#[must_use]
+pub fn measure_throughput_with(
+    addr: std::net::SocketAddr,
+    path: &str,
+    users: usize,
+    clients: usize,
+    requests_per_client: usize,
+    options: LoadOptions,
+) -> Throughput {
     let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
     let mut handles = Vec::with_capacity(clients);
     for c in 0..clients {
         let path = path.to_owned();
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
-            let client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+            let client = HttpClient::new(addr)
+                .with_timeout(Duration::from_secs(60))
+                .with_keep_alive(options.keep_alive);
             let mut rng = StdRng::seed_from_u64(0xBEEF ^ c as u64);
             let sep = if path.contains('?') { '&' } else { '?' };
             barrier.wait();
@@ -470,12 +543,21 @@ pub fn measure_throughput(
             let start = Instant::now();
             let mut ok = 0usize;
             let mut errors = 0usize;
+            let mut on_conn = 0usize;
             for _ in 0..requests_per_client {
+                if options.keep_alive
+                    && options.requests_per_conn > 0
+                    && on_conn >= options.requests_per_conn
+                {
+                    client.reset_connection();
+                    on_conn = 0;
+                }
                 let uid = rng.gen_range(0..users);
                 match client.get(&format!("{path}{sep}uid={uid}")) {
                     Ok(response) if response.status == 200 => ok += 1,
                     _ => errors += 1,
                 }
+                on_conn += 1;
             }
             (ok, errors, start, Instant::now())
         }));
@@ -619,6 +701,21 @@ mod tests {
         let stats = closed_loop(addr, "/online/", 40, 4, 3);
         assert_eq!(stats.samples, 12);
         assert_eq!(handle.request_count(), 32 + 12);
+        handle.stop();
+    }
+
+    #[test]
+    fn keep_alive_throughput_mode_reuses_and_rotates_connections() {
+        let population = build_population(40, 10, 3, 6);
+        let (handle, addr) = spawn_reactor_server(&population, 2, BatchPolicy::default());
+        let throughput =
+            measure_throughput_with(addr, "/online/", 40, 4, 6, LoadOptions::persistent(3));
+        assert_eq!(throughput.ok, 24);
+        assert_eq!(throughput.errors, 0);
+        // 4 clients × (6 requests rotated every 3) = 8 connections, far
+        // fewer than the 24 the close-per-request mode would open.
+        assert_eq!(handle.stats().connections(), 8);
+        assert_eq!(handle.request_count(), 24);
         handle.stop();
     }
 
