@@ -16,24 +16,33 @@
 //!   the reactor front-end driven closed-loop over `/online/` in
 //!   `Connection: close` vs keep-alive mode at 64–1024 connections
 //!   (`BENCH_keepalive.json`).
+//! * `http_load bench-sharded` — the multi-reactor experiment: keep-alive
+//!   load against a 1-reactor front-end vs one sharded across `--reactors`
+//!   event loops (default 4) over the same total worker count
+//!   (`BENCH_sharded.json`). On a single-core box the two should tie —
+//!   the point of recording it is the multi-core rerun.
 //! * `http_load smoke` — CI gate: fires a few hundred concurrent requests
 //!   at the reactor front-end, asserts every response is 200 and that the
 //!   server drains cleanly on shutdown.
 //!
 //! Flags: `--keep-alive` switches the smoke clients to persistent
 //! connections; `--requests-per-conn N` rotates each persistent client
-//! connection after `N` requests (exercising the reconnect path).
+//! connection after `N` requests (exercising the reconnect path);
+//! `--reactors N` shards the server under test across `N` reactor event
+//! loops (smoke additionally asserts the shards all saw traffic).
 //!
 //! ```text
 //! cargo run --release -p hyrec-bench --bin http_load -- bench > BENCH_http.json
 //! cargo run --release -p hyrec-bench --bin http_load -- bench-keepalive > BENCH_keepalive.json
-//! cargo run --release -p hyrec-bench --bin http_load -- smoke --keep-alive
+//! cargo run --release -p hyrec-bench --bin http_load -- bench-sharded --reactors 4 > BENCH_sharded.json
+//! cargo run --release -p hyrec-bench --bin http_load -- smoke --keep-alive --reactors 4
 //! ```
 
 use hyrec_http::{BatchPolicy, HttpServer};
 use hyrec_sim::load::{
     build_population, measure_throughput_with, seed_frontend_router, spawn_benchmark_server,
-    spawn_reactor_server, warm_cache, LoadOptions, Population, Throughput,
+    spawn_reactor_server, spawn_sharded_reactor_server, warm_cache, LoadOptions, Population,
+    Throughput,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -51,11 +60,15 @@ const REACTOR_WORKERS: usize = 4;
 /// Total requests targeted per series (split across the clients).
 const TARGET_REQUESTS: usize = 2_048;
 
-/// Parsed command line: mode + connection knobs.
+/// Parsed command line: mode + connection knobs. `reactors` stays `None`
+/// unless the flag was given, so each mode can pick its own default
+/// (1 for smoke, 4 for bench-sharded) while an explicit `--reactors 1` is
+/// still honoured.
 struct Args {
     mode: String,
     keep_alive: bool,
     requests_per_conn: usize,
+    reactors: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +76,7 @@ fn parse_args() -> Args {
         mode: "bench".to_owned(),
         keep_alive: false,
         requests_per_conn: 0,
+        reactors: None,
     };
     let mut raw = std::env::args().skip(1);
     let mut mode_seen = false;
@@ -82,6 +96,17 @@ fn parse_args() -> Args {
                 // rotations.
                 args.keep_alive = true;
             }
+            "--reactors" => {
+                let value = raw
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reactors needs a number ≥ 1");
+                        std::process::exit(2);
+                    });
+                args.reactors = Some(value);
+            }
             mode if !mode_seen => {
                 args.mode = mode.to_owned();
                 mode_seen = true;
@@ -97,15 +122,37 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // `bench` and `bench-keepalive` pin their front-end configuration for
+    // cross-PR comparability; refusing the flag beats silently recording a
+    // 1-reactor run the user believes was sharded.
+    if args.reactors.is_some() && matches!(args.mode.as_str(), "bench" | "bench-keepalive") {
+        eprintln!(
+            "--reactors is not supported by `{}` (use `bench-sharded` or `smoke`)",
+            args.mode
+        );
+        std::process::exit(2);
+    }
     match args.mode.as_str() {
         "bench" => bench(),
         "bench-keepalive" => bench_keepalive(args.requests_per_conn),
+        "bench-sharded" => bench_sharded(&args),
         "smoke" => smoke(&args),
         other => {
-            eprintln!("unknown mode `{other}` (expected `bench`, `bench-keepalive` or `smoke`)");
+            eprintln!(
+                "unknown mode `{other}` (expected `bench`, `bench-keepalive`, \
+                 `bench-sharded` or `smoke`)"
+            );
             std::process::exit(2);
         }
     }
+}
+
+/// Splits the worker budget across `reactors` shards (at least one worker
+/// per shard — so past `REACTOR_WORKERS` shards the total grows with the
+/// shard count; `bench-sharded` sizes its baseline off the same product to
+/// keep the two series at equal total compute regardless).
+fn workers_per_reactor(reactors: usize) -> usize {
+    (REACTOR_WORKERS / reactors.max(1)).max(1)
 }
 
 fn emit(id: &str, clients: usize, result: &Throughput) {
@@ -249,25 +296,94 @@ fn bench_keepalive(requests_per_conn: usize) {
     }
 }
 
+/// 1 reactor vs `--reactors` N (default 4) under keep-alive load — the
+/// experiment behind `BENCH_sharded.json`. Both series run the same total
+/// worker count; on a single-core container the kernel time-slices the
+/// event loops onto one CPU, so parity is the expected result here and the
+/// series exists to be re-run on a many-core box.
+fn bench_sharded(args: &Args) {
+    let reactors = args.reactors.unwrap_or(4);
+    // The baseline runs the *same total* worker count as the sharded
+    // series (which is reactors × workers_per_reactor, possibly more than
+    // REACTOR_WORKERS when reactors exceed it), so the comparison isolates
+    // the front-end architecture, not pool sizing.
+    let total_workers = reactors * workers_per_reactor(reactors);
+    let population = bench_population();
+    for clients in [64usize, 256, 1024] {
+        let per_client = (2 * TARGET_REQUESTS / clients).max(4);
+        eprintln!("== {clients} concurrent connections ({per_client} requests each)");
+
+        let (handle, addr) =
+            spawn_sharded_reactor_server(&population, 1, total_workers, bench_policy());
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::persistent(0),
+        );
+        emit("reactor-x1", clients, &result);
+        handle.stop();
+
+        let (handle, addr) = spawn_sharded_reactor_server(
+            &population,
+            reactors,
+            workers_per_reactor(reactors),
+            bench_policy(),
+        );
+        let result = measure_throughput_with(
+            addr,
+            "/online/",
+            USERS,
+            clients,
+            per_client,
+            LoadOptions::persistent(0),
+        );
+        let stats = handle.stats();
+        let spread: Vec<String> = stats
+            .shards()
+            .iter()
+            .map(|shard| format!("{}c/{}r", shard.connections(), shard.requests()))
+            .collect();
+        eprintln!(
+            "  {:>20}   shards: [{}], {} batched in {} flushes",
+            "",
+            spread.join(", "),
+            stats.batched_requests(),
+            stats.batches(),
+        );
+        emit(&format!("reactor-x{reactors}"), clients, &result);
+        handle.stop();
+    }
+}
+
 fn smoke(args: &Args) {
     const CLIENTS: usize = 64;
     const PER_CLIENT: usize = 5;
+    let reactors = args.reactors.unwrap_or(1);
     let options = if args.keep_alive {
         LoadOptions::persistent(args.requests_per_conn)
     } else {
         LoadOptions::close_per_request()
     };
     eprintln!(
-        "http smoke: {CLIENTS} concurrent clients × {PER_CLIENT} requests ({})…",
+        "http smoke: {CLIENTS} concurrent clients × {PER_CLIENT} requests ({}, {} reactor{})…",
         if args.keep_alive {
             "keep-alive"
         } else {
             "connection: close"
-        }
+        },
+        reactors,
+        if reactors == 1 { "" } else { "s" },
     );
     let population = build_population(200, 20, 5, 7);
     let policy = BatchPolicy::default();
-    let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, policy);
+    let (handle, addr) = if reactors > 1 {
+        spawn_sharded_reactor_server(&population, reactors, workers_per_reactor(reactors), policy)
+    } else {
+        spawn_reactor_server(&population, REACTOR_WORKERS, policy)
+    };
 
     // Interleaved /rate/ and /online/ traffic.
     let rate = measure_throughput_with(
@@ -302,6 +418,30 @@ fn smoke(args: &Args) {
             "keep-alive smoke opened one connection per request ({connections})"
         );
         eprintln!("  keep-alive reuse: {served} requests over {connections} connections");
+    }
+    if reactors > 1 {
+        let stats = handle.stats();
+        let shard_requests: u64 = stats.shards().iter().map(|s| s.requests()).sum();
+        assert_eq!(
+            shard_requests,
+            stats.requests(),
+            "per-shard request counts must sum to the aggregate"
+        );
+        let active = stats
+            .shards()
+            .iter()
+            .filter(|s| s.connections() > 0)
+            .count();
+        assert!(
+            active >= 2,
+            "accept sharding left every connection on one of {reactors} shards"
+        );
+        let spread: Vec<String> = stats
+            .shards()
+            .iter()
+            .map(|shard| format!("{}c/{}r", shard.connections(), shard.requests()))
+            .collect();
+        eprintln!("  shard spread: [{}]", spread.join(", "));
     }
 
     // Drain: stop() must return promptly with nothing left in flight.

@@ -18,14 +18,17 @@
 //!   fixed [`threadpool`]; each worker now loops on its connection until
 //!   close/idle-timeout/request-budget, so the pool size bounds concurrent
 //!   *connections* (the knob behind Figure 9's concurrency experiment).
-//! * [`reactor`] — the scaling architecture: an epoll readiness loop
-//!   (raw bindings in a private `sys` module, no external deps) with
-//!   persistent per-connection state machines (rolling read buffer holding
-//!   pipelined requests, in-order response queue, idle sweep,
-//!   max-requests-per-connection), recycled buffers, a small worker pool,
-//!   and **request coalescing**: concurrent and pipelined requests to
-//!   batched routes are gathered — up to a cap, within a gather window —
-//!   and handed to one handler call.
+//! * [`reactor`] — the scaling architecture: N epoll readiness loops
+//!   ("shards", raw bindings in a private `sys` module, no external deps)
+//!   with persistent per-connection state machines (rolling read buffer
+//!   holding pipelined requests, in-order response queue, idle sweep,
+//!   max-requests-per-connection), recycled buffers, a **shared** worker
+//!   pool, and **process-wide request coalescing**: concurrent and
+//!   pipelined requests to batched routes are gathered — up to a cap,
+//!   within a gather window, across every shard — and handed to one
+//!   handler call. Connections shard across the loops via `SO_REUSEPORT`
+//!   kernel accept sharding, with a round-robin accept hand-off fallback
+//!   ([`reactor::AcceptSharding`]).
 //!
 //! Shared plumbing:
 //!
@@ -52,12 +55,14 @@
 //! use hyrec_server::HyRecServer;
 //!
 //! let hyrec = Arc::new(HyRecServer::new());
-//! let server = ReactorServer::bind("127.0.0.1:0", 4)?
+//! // 4 reactor event loops (SO_REUSEPORT-sharded when the kernel allows)
+//! // over a shared pool of 4 × 2 workers and one process-wide gather.
+//! let server = ReactorServer::bind_sharded("127.0.0.1:0", 4, 2)?
 //!     .with_max_requests_per_conn(10_000);
 //! let addr = server.local_addr();
 //! let handle = server.serve(api::hyrec_router(hyrec));
 //! println!("HyRec API listening on http://{addr}");
-//! // … handle.stop() drains in-flight work and joins the event loop.
+//! // … handle.stop() drains in-flight work and joins every event loop.
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
@@ -75,7 +80,7 @@ mod sys;
 pub mod threadpool;
 
 pub use client::HttpClient;
-pub use reactor::ReactorServer;
+pub use reactor::{AcceptSharding, ReactorServer};
 pub use request::Request;
 pub use response::{Disposition, Response};
 pub use router::{BatchPolicy, Handler, Router, Scalar};

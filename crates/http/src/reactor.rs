@@ -1,6 +1,6 @@
-//! The epoll reactor front-end: one event-loop thread multiplexing every
-//! connection, a small worker pool doing the request work, and a
-//! coalescing layer gathering concurrent requests to batched routes.
+//! The epoll reactor front-end: N event-loop threads ("shards"), each
+//! multiplexing its own subset of the connections, over one **shared**
+//! worker pool, router, and request-coalescing gather layer.
 //!
 //! The thread-per-connection [`crate::server::HttpServer`] holds one OS
 //! thread hostage per in-flight connection — fine for hundreds of browsers,
@@ -22,33 +22,48 @@
 //!   shutting down); an idle sweep reaps connections that have sat quiet
 //!   longer than [`ReactorServer::with_idle_timeout`] so dead browsers do
 //!   not pin buffers.
-//! * **A readiness loop** over raw `epoll` (see [`crate::sys`]; no external
-//!   dependencies), level-triggered, with a wakeup `eventfd` for response
-//!   completions coming back from the workers.
-//! * **Request coalescing.** Requests resolving to a route whose
-//!   [`crate::BatchPolicy`] allows batching are *gathered* rather than
-//!   dispatched: a batch flushes to the worker pool when it reaches the
-//!   route's `max_batch`, when its oldest request has waited the route's
-//!   `gather_window`, or as soon as the pipeline goes idle. Pipelining
-//!   widens this: a browser that writes three `/online/` calls
-//!   back-to-back delivers a ready-made batch in a single read, without
-//!   paying the gather window as latency.
+//! * **Multi-reactor accept sharding.** One event loop saturates a core
+//!   before the workers do, so [`ReactorServer::bind_sharded`] spins one
+//!   epoll loop per shard. With kernel support each shard owns a private
+//!   `SO_REUSEPORT` listener and the kernel hashes incoming connections
+//!   across them ([`AcceptSharding::ReusePort`]); without it, shard 0
+//!   doubles as the accept thread and hands accepted sockets off
+//!   round-robin to the other shards' inboxes
+//!   ([`AcceptSharding::HandOff`]). A connection lives on exactly one
+//!   shard for its whole lifetime either way, so the per-connection
+//!   ordering machinery needs no cross-shard coordination.
+//! * **A readiness loop** per shard over raw `epoll` (see [`crate::sys`];
+//!   no external dependencies), level-triggered, with a wakeup `eventfd`
+//!   per shard for response completions coming back from the workers.
+//! * **Process-wide request coalescing.** Requests resolving to a route
+//!   whose [`crate::BatchPolicy`] allows batching are *gathered* rather
+//!   than dispatched — into one gather shared by **all** shards (see
+//!   [`crate::router`]'s `Gather`), so concurrent `/online/` calls
+//!   coalesce across the whole process, not per shard. A batch flushes to
+//!   the worker pool when it reaches the route's `max_batch`, when its
+//!   oldest request has waited the route's `gather_window`, or as soon as
+//!   the pipeline goes idle. Pipelining widens this: a browser that writes
+//!   three `/online/` calls back-to-back delivers a ready-made batch in a
+//!   single read, without paying the gather window as latency.
 //!
-//! Shutdown drains: pending batches are flushed, in-flight work completes,
-//! staged responses are written out (stamped `Connection: close`), then the
-//! loop exits and the pool joins.
+//! Shutdown drains every shard: listeners close immediately (so racing
+//! connects are refused instead of sitting accepted-but-unserved in a dead
+//! queue), pending batches are flushed, in-flight work completes, staged
+//! responses are written out (stamped `Connection: close`), then each loop
+//! exits, the threads join deterministically, and the shared pool joins.
 
 use crate::request::Request;
 use crate::response::{Disposition, Response};
-use crate::router::{Resolution, Route, Router};
-use crate::sys::{Epoll, EpollEvent, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::router::{Gather, GatheredBatch, Resolution, Route, Router};
+use crate::sys::{self, Epoll, EpollEvent, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::threadpool::ThreadPool;
+use parking_lot::Mutex;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -76,42 +91,98 @@ const MAX_PIPELINE: u64 = 64;
 const MAX_STAGED_OUT: usize = 1024 * 1024;
 /// How long a draining shutdown waits before abandoning in-flight work.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
-/// Buffers recycled through the pool are capped at this many.
+/// Buffers recycled through a shard's pool are capped at this many.
 const BUFFER_POOL_CAP: usize = 1024;
 /// Buffers that grew beyond this are dropped instead of recycled, so a
 /// burst of large requests/responses cannot pin gigabytes in the pool.
 const BUFFER_RECYCLE_MAX: usize = 64 * 1024;
-/// How long the listener stays deregistered after an accept failure like
+/// How long a listener stays deregistered after an accept failure like
 /// EMFILE (level-triggered readiness would otherwise busy-spin the loop).
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 /// Accept-queue depth requested from the kernel (clamped by
-/// `net.core.somaxconn`).
+/// `net.core.somaxconn`); per listener, so kernel-sharded binds get this
+/// much queue *per shard*.
 const ACCEPT_BACKLOG: i32 = 4096;
 
-/// Serving statistics, shared between the reactor thread and its handle.
+/// Destination of a response: (shard, connection token, sequence number).
+type Dest = (usize, u64, u64);
+
+/// How accepted connections are distributed across reactor shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptSharding {
+    /// Probe the kernel: [`AcceptSharding::ReusePort`] when supported
+    /// (Linux ≥ 3.9), [`AcceptSharding::HandOff`] otherwise.
+    Auto,
+    /// One `SO_REUSEPORT` listener per shard: the kernel hashes each
+    /// incoming connection onto one listener's private accept queue, so
+    /// accepts never cross threads and no shard is a bottleneck.
+    ReusePort,
+    /// A single listener owned by shard 0, which doubles as the accept
+    /// thread: it accepts every connection and hands the socket off
+    /// round-robin to the shards' inboxes (keep-alive makes the hand-off
+    /// cheap — it is paid once per *connection*, not per request).
+    HandOff,
+}
+
+/// Per-shard serving counters (one entry per reactor event loop).
 #[derive(Debug, Default)]
+pub struct ShardStats {
+    requests: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl ShardStats {
+    /// Complete requests parsed by this shard.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections served by this shard.
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+}
+
+/// Serving statistics: a process-wide atomic aggregate shared by every
+/// reactor shard, with per-shard breakdowns for observing the accept
+/// sharding (kernel hash or round-robin) actually spreading load.
+#[derive(Debug)]
 pub struct ReactorStats {
     requests: AtomicU64,
     connections: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    shards: Vec<ShardStats>,
 }
 
 impl ReactorStats {
-    /// Number of complete requests parsed.
+    fn with_shards(shards: usize) -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            shards: (0..shards).map(|_| ShardStats::default()).collect(),
+        }
+    }
+
+    /// Number of complete requests parsed, across all shards.
     #[must_use]
     pub fn requests(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
     }
 
     /// Number of connections accepted (so `requests / connections` is the
-    /// achieved keep-alive reuse factor).
+    /// achieved keep-alive reuse factor), across all shards.
     #[must_use]
     pub fn connections(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Number of coalesced batches flushed to batched routes.
+    /// Number of coalesced batches flushed to batched routes. Batches are
+    /// gathered process-wide, so there is no per-shard breakdown.
     #[must_use]
     pub fn batches(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
@@ -123,13 +194,25 @@ impl ReactorStats {
     pub fn batched_requests(&self) -> u64 {
         self.batched_requests.load(Ordering::Relaxed)
     }
+
+    /// Per-shard breakdowns, indexed by shard id.
+    #[must_use]
+    pub fn shards(&self) -> &[ShardStats] {
+        &self.shards
+    }
 }
 
 /// An epoll-based nonblocking HTTP/1.1 server with persistent (keep-alive,
-/// pipelined) connections — same protocol surface as
-/// [`crate::server::HttpServer`], different concurrency architecture.
+/// pipelined) connections, optionally sharded across several reactor event
+/// loops — same protocol surface as [`crate::server::HttpServer`],
+/// different concurrency architecture.
 pub struct ReactorServer {
-    listener: TcpListener,
+    /// One listener per shard in [`AcceptSharding::ReusePort`] mode;
+    /// exactly one (owned by shard 0) in [`AcceptSharding::HandOff`] mode.
+    listeners: Vec<TcpListener>,
+    /// Resolved mode — never [`AcceptSharding::Auto`].
+    mode: AcceptSharding,
+    reactors: usize,
     workers: usize,
     local_addr: SocketAddr,
     idle_timeout: Duration,
@@ -140,6 +223,8 @@ impl std::fmt::Debug for ReactorServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReactorServer")
             .field("addr", &self.local_addr)
+            .field("reactors", &self.reactors)
+            .field("accept_sharding", &self.mode)
             .field("workers", &self.workers)
             .field("idle_timeout", &self.idle_timeout)
             .field("max_requests_per_conn", &self.max_requests_per_conn)
@@ -148,13 +233,19 @@ impl std::fmt::Debug for ReactorServer {
 }
 
 /// Handle for observing and stopping a running reactor.
-#[derive(Debug)]
 pub struct ReactorHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    waker: Arc<Waker>,
-    stats: Arc<ReactorStats>,
-    thread: Option<thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorHandle")
+            .field("addr", &self.addr)
+            .field("reactors", &self.threads.len())
+            .finish()
+    }
 }
 
 impl ReactorHandle {
@@ -164,30 +255,44 @@ impl ReactorHandle {
         self.addr
     }
 
-    /// Number of complete requests parsed so far.
+    /// Number of complete requests parsed so far, across all shards.
     #[must_use]
     pub fn request_count(&self) -> u64 {
-        self.stats.requests()
+        self.shared.stats.requests()
     }
 
     /// Serving statistics (batch and connection counts expose achieved
-    /// coalescing and keep-alive reuse).
+    /// coalescing and keep-alive reuse; per-shard breakdowns expose the
+    /// accept sharding).
     #[must_use]
     pub fn stats(&self) -> &ReactorStats {
-        &self.stats
+        &self.shared.stats
     }
 
-    /// Signals shutdown and waits for the reactor to drain and exit.
+    /// Signals shutdown and waits for every reactor shard to drain and
+    /// exit, then for the shared worker pool to join.
     pub fn stop(mut self) {
         self.shutdown_and_join();
     }
 
     fn shutdown_and_join(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.waker.wake();
-        if let Some(handle) = self.thread.take() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Fan the shutdown out to every loop: each shard owns an eventfd.
+        for mailbox in self.shared.mailboxes.iter() {
+            mailbox.waker.wake();
+        }
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        // Belt and braces for the hand-off race: any socket still sitting
+        // in an inbox is closed now (prompt reset), not when the process
+        // tears the mailboxes down.
+        for mailbox in self.shared.mailboxes.iter() {
+            mailbox.handoff.lock().clear();
+        }
+        // Dropping the handle's `Arc<Shared>` (the last one once every
+        // shard thread has exited) runs `ThreadPool::drop`, which joins the
+        // workers — so by the time `stop` returns, every thread is gone.
     }
 }
 
@@ -198,21 +303,90 @@ impl Drop for ReactorHandle {
 }
 
 impl ReactorServer {
-    /// Binds to `addr` (`127.0.0.1:0` for an ephemeral port) with `workers`
-    /// request-processing threads behind the event loop.
+    /// Binds a single-reactor server to `addr` (`127.0.0.1:0` for an
+    /// ephemeral port) with `workers` request-processing threads behind
+    /// the event loop.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding.
     pub fn bind<A: ToSocketAddrs>(addr: A, workers: usize) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        // std listens with backlog 128; a reactor shares one thread between
-        // accepts and I/O, so connection bursts need real queue depth.
-        crate::sys::widen_backlog(listener.as_raw_fd(), ACCEPT_BACKLOG)?;
-        let local_addr = listener.local_addr()?;
+        // One shard needs no kernel accept sharding: plain listener.
+        Self::bind_sharded_with(addr, 1, workers, AcceptSharding::HandOff)
+    }
+
+    /// Binds a server sharded across `reactors` epoll event loops over a
+    /// **shared** pool of `reactors × workers_per_reactor` workers and one
+    /// process-wide gather layer (so `/online/` coalescing still gathers
+    /// across the whole process, not per shard). Uses kernel accept
+    /// sharding (`SO_REUSEPORT`) when available, accept hand-off
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding any of the listeners.
+    pub fn bind_sharded<A: ToSocketAddrs>(
+        addr: A,
+        reactors: usize,
+        workers_per_reactor: usize,
+    ) -> io::Result<Self> {
+        Self::bind_sharded_with(addr, reactors, workers_per_reactor, AcceptSharding::Auto)
+    }
+
+    /// [`ReactorServer::bind_sharded`] with an explicit accept-sharding
+    /// mode — tests force [`AcceptSharding::HandOff`] to exercise the
+    /// fallback on kernels that *do* support `SO_REUSEPORT`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding; requesting
+    /// [`AcceptSharding::ReusePort`] on a kernel without it surfaces the
+    /// `setsockopt` errno.
+    pub fn bind_sharded_with<A: ToSocketAddrs>(
+        addr: A,
+        reactors: usize,
+        workers_per_reactor: usize,
+        sharding: AcceptSharding,
+    ) -> io::Result<Self> {
+        let reactors = reactors.max(1);
+        let mode = match sharding {
+            AcceptSharding::Auto => {
+                if reactors > 1 && sys::reuseport_supported() {
+                    AcceptSharding::ReusePort
+                } else {
+                    AcceptSharding::HandOff
+                }
+            }
+            explicit => explicit,
+        };
+        let (listeners, local_addr) = if mode == AcceptSharding::ReusePort {
+            let requested = addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no socket address"))?;
+            // The first bind resolves an ephemeral port; the remaining
+            // shards bind the concrete address it landed on.
+            let first = sys::bind_reuseport(requested, ACCEPT_BACKLOG)?;
+            let concrete = first.local_addr()?;
+            let mut listeners = vec![first];
+            for _ in 1..reactors {
+                listeners.push(sys::bind_reuseport(concrete, ACCEPT_BACKLOG)?);
+            }
+            (listeners, concrete)
+        } else {
+            let listener = TcpListener::bind(addr)?;
+            // std listens with backlog 128; a reactor shares one thread
+            // between accepts and I/O, so connection bursts need real
+            // queue depth.
+            sys::widen_backlog(listener.as_raw_fd(), ACCEPT_BACKLOG)?;
+            let local_addr = listener.local_addr()?;
+            (vec![listener], local_addr)
+        };
         Ok(Self {
-            listener,
-            workers: workers.max(1),
+            listeners,
+            mode,
+            reactors,
+            workers: reactors * workers_per_reactor.max(1),
             local_addr,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             max_requests_per_conn: u64::MAX,
@@ -237,39 +411,76 @@ impl ReactorServer {
         self
     }
 
-    /// The bound address.
+    /// The bound address (shared by every shard's listener).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
     }
 
-    /// Starts the event loop on a background thread; returns a handle for
-    /// shutdown.
+    /// Number of reactor event loops this server will run.
+    #[must_use]
+    pub fn reactors(&self) -> usize {
+        self.reactors
+    }
+
+    /// The resolved accept-sharding mode (never [`AcceptSharding::Auto`]).
+    #[must_use]
+    pub fn accept_sharding(&self) -> AcceptSharding {
+        self.mode
+    }
+
+    /// Starts one event loop per shard on background threads; returns a
+    /// handle for shutdown.
     ///
     /// # Panics
     ///
-    /// Panics if the epoll instance or wakeup eventfd cannot be created
-    /// (resource exhaustion at startup).
+    /// Panics if an epoll instance, wakeup eventfd, or reactor thread
+    /// cannot be created (resource exhaustion at startup).
     #[must_use]
     pub fn serve(self, router: Router) -> ReactorHandle {
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let waker = Arc::new(Waker::new().expect("create eventfd"));
-        let stats = Arc::new(ReactorStats::default());
-        let addr = self.local_addr;
-        let reactor = Reactor::new(
-            self,
+        let mailboxes: Arc<Vec<Mailbox>> =
+            Arc::new((0..self.reactors).map(|_| Mailbox::new()).collect());
+        let gather = Gather::new(&router);
+        let shared = Arc::new(Shared {
             router,
-            Arc::clone(&shutdown),
-            Arc::clone(&waker),
-            Arc::clone(&stats),
-        );
-        let thread = thread::spawn(move || reactor.run());
+            pool: ThreadPool::new(self.workers),
+            gather,
+            stats: ReactorStats::with_shards(self.reactors),
+            shutdown: AtomicBool::new(false),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            mailboxes,
+            idle_timeout: self.idle_timeout,
+            max_requests_per_conn: self.max_requests_per_conn,
+            reactors: self.reactors,
+        });
+        // Assign listeners: one per shard under kernel sharding, shard 0
+        // only under hand-off.
+        let mut slots: Vec<Option<TcpListener>> = (0..self.reactors).map(|_| None).collect();
+        for (slot, listener) in slots.iter_mut().zip(self.listeners) {
+            *slot = Some(listener);
+        }
+        let distribute = matches!(self.mode, AcceptSharding::HandOff) && self.reactors > 1;
+        let threads = slots
+            .into_iter()
+            .enumerate()
+            .map(|(id, listener)| {
+                let shard = Shard {
+                    id,
+                    listener,
+                    distribute,
+                    next_handoff: 0,
+                    shared: Arc::clone(&shared),
+                };
+                thread::Builder::new()
+                    .name(format!("hyrec-reactor-{id}"))
+                    .spawn(move || shard.run())
+                    .expect("spawn reactor shard thread")
+            })
+            .collect();
         ReactorHandle {
-            addr,
-            shutdown,
-            waker,
-            stats,
-            thread: Some(thread),
+            addr: self.local_addr,
+            shared,
+            threads,
         }
     }
 }
@@ -393,12 +604,6 @@ fn parts_of(token: u64) -> (usize, u32) {
     ((token & 0xFFFF_FFFF) as usize, (token >> 32) as u32)
 }
 
-/// A batch being gathered for one batched route.
-struct PendingBatch {
-    entries: Vec<(u64, u64, Request)>,
-    oldest: Instant,
-}
-
 /// One step of the per-connection framing loop.
 enum FrameStep {
     /// A request was framed and assigned a sequence number.
@@ -410,66 +615,88 @@ enum FrameStep {
     Stop,
 }
 
-struct Reactor {
-    listener: TcpListener,
-    workers: usize,
-    router: Arc<Router>,
-    idle_timeout: Duration,
-    max_requests_per_conn: u64,
-    shutdown: Arc<AtomicBool>,
-    waker: Arc<Waker>,
-    stats: Arc<ReactorStats>,
-    completions: Arc<Mutex<Vec<(u64, u64, Response)>>>,
-    in_flight: Arc<AtomicUsize>,
+/// A shard's inbox: completions computed by the workers, plus (in hand-off
+/// mode) accepted sockets waiting to be adopted. Non-poisoning mutexes —
+/// a panicking worker must not wedge every live connection on the shard
+/// behind a poisoned queue (the panic itself is already translated into a
+/// 500 by the dispatch path).
+struct Mailbox {
+    completions: Mutex<Vec<(u64, u64, Response)>>,
+    handoff: Mutex<Vec<TcpStream>>,
+    waker: Waker,
 }
 
-impl Reactor {
-    fn new(
-        server: ReactorServer,
-        router: Router,
-        shutdown: Arc<AtomicBool>,
-        waker: Arc<Waker>,
-        stats: Arc<ReactorStats>,
-    ) -> Self {
+impl Mailbox {
+    fn new() -> Self {
         Self {
-            listener: server.listener,
-            workers: server.workers,
-            router: Arc::new(router),
-            idle_timeout: server.idle_timeout,
-            max_requests_per_conn: server.max_requests_per_conn,
-            shutdown,
-            waker,
-            stats,
-            completions: Arc::new(Mutex::new(Vec::new())),
-            in_flight: Arc::new(AtomicUsize::new(0)),
+            completions: Mutex::new(Vec::new()),
+            handoff: Mutex::new(Vec::new()),
+            waker: Waker::new().expect("create eventfd"),
         }
     }
+}
 
+/// State shared by every reactor shard: the router and its process-wide
+/// gather, the worker pool, aggregate stats, and each shard's mailbox.
+struct Shared {
+    router: Router,
+    pool: ThreadPool,
+    gather: Gather<Dest>,
+    stats: ReactorStats,
+    shutdown: AtomicBool,
+    /// Worker-pool jobs in flight. `Arc` so worker closures can decrement
+    /// without holding an `Arc<Shared>` (which would cycle through the
+    /// pool's own job queue).
+    in_flight: Arc<AtomicUsize>,
+    /// One mailbox per shard. `Arc` for the same reason as `in_flight`.
+    mailboxes: Arc<Vec<Mailbox>>,
+    idle_timeout: Duration,
+    max_requests_per_conn: u64,
+    reactors: usize,
+}
+
+/// One reactor event loop: owns a subset of the connections (and, in
+/// kernel-sharded mode, a private listener).
+struct Shard {
+    id: usize,
+    /// This shard's listener; `None` for non-zero shards in hand-off mode,
+    /// and taken (closed) on every shard the moment draining starts.
+    listener: Option<TcpListener>,
+    /// Hand-off mode: round-robin accepted sockets across all shards.
+    distribute: bool,
+    next_handoff: usize,
+    shared: Arc<Shared>,
+}
+
+impl Shard {
     /// Idle-sweep cadence: frequent enough to honour short test timeouts,
     /// capped at once a second.
     fn sweep_interval(&self) -> Duration {
-        (self.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1))
+        (self.shared.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1))
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(self) {
+    fn run(mut self) {
         let Ok(epoll) = Epoll::new() else { return };
-        if self.listener.set_nonblocking(true).is_err() {
-            return;
+        if let Some(listener) = &self.listener {
+            if listener.set_nonblocking(true).is_err() {
+                return;
+            }
+            if epoll
+                .add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
+                .is_err()
+            {
+                return;
+            }
         }
-        if epoll
-            .add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)
-            .is_err()
-        {
-            return;
-        }
-        let _ = epoll.add(self.waker.raw_fd(), EPOLLIN, WAKER_TOKEN);
+        let _ = epoll.add(
+            self.shared.mailboxes[self.id].waker.raw_fd(),
+            EPOLLIN,
+            WAKER_TOKEN,
+        );
 
-        let pool = ThreadPool::new(self.workers);
         let mut slab = Slab::new();
         let mut buffer_pool: Vec<Vec<u8>> = Vec::new();
-        let mut pending: Vec<Option<PendingBatch>> =
-            (0..self.router.route_count()).map(|_| None).collect();
         let mut events = vec![EpollEvent::zeroed(); 1024];
         let mut accepting = true;
         // While Some, the listener is deregistered (accept failed with
@@ -484,10 +711,12 @@ impl Reactor {
             if let Some(deadline) = accept_paused_until {
                 if accepting && Instant::now() >= deadline {
                     accept_paused_until = None;
-                    let _ = epoll.add(self.listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN);
+                    if let Some(listener) = &self.listener {
+                        let _ = epoll.add(listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN);
+                    }
                 }
             }
-            let mut timeout = self.wait_timeout(&pending, sweep_every, drain_started.is_some());
+            let mut timeout = self.wait_timeout(sweep_every, drain_started.is_some());
             if accept_paused_until.is_some() {
                 timeout = timeout.min(i32::try_from(ACCEPT_BACKOFF.as_millis()).unwrap_or(50));
             }
@@ -498,20 +727,31 @@ impl Reactor {
                     LISTENER_TOKEN => {
                         if accepting && !self.accept_ready(&epoll, &mut slab, &mut buffer_pool) {
                             // Resource exhaustion: back off the listener.
-                            let _ = epoll.delete(self.listener.as_raw_fd());
+                            if let Some(listener) = &self.listener {
+                                let _ = epoll.delete(listener.as_raw_fd());
+                            }
                             accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
                         }
                     }
-                    WAKER_TOKEN => self.waker.drain(),
+                    WAKER_TOKEN => self.shared.mailboxes[self.id].waker.drain(),
                     token => self.conn_ready(
                         &epoll,
                         &mut slab,
                         &mut buffer_pool,
-                        &mut pending,
-                        &pool,
                         token,
                         event.readiness(),
                     ),
+                }
+            }
+
+            // Adopt connections handed off by the accepting shard (dropped
+            // unserved if we are already draining — the racing-connect
+            // case; the client sees a prompt reset, not a hang).
+            let adopted: Vec<TcpStream> =
+                std::mem::take(&mut *self.shared.mailboxes[self.id].handoff.lock());
+            for stream in adopted {
+                if drain_started.is_none() {
+                    self.register_conn(&epoll, &mut slab, &mut buffer_pool, stream);
                 }
             }
 
@@ -519,7 +759,7 @@ impl Reactor {
             // queueing them, resume framing on those connections — their
             // pipelines may have been paused by the MAX_PIPELINE cap.
             let done: Vec<(u64, u64, Response)> =
-                std::mem::take(&mut *self.completions.lock().expect("completions poisoned"));
+                std::mem::take(&mut *self.shared.mailboxes[self.id].completions.lock());
             let mut touched: Vec<u64> = Vec::with_capacity(done.len());
             for (token, seq, response) in done {
                 self.queue_response(&epoll, &mut slab, &mut buffer_pool, token, seq, response);
@@ -528,32 +768,31 @@ impl Reactor {
                 }
             }
             for token in touched {
-                self.frame_and_dispatch(
-                    &epoll,
-                    &mut slab,
-                    &mut buffer_pool,
-                    &mut pending,
-                    &pool,
-                    token,
-                );
+                self.frame_and_dispatch(&epoll, &mut slab, &mut buffer_pool, token);
                 self.close_if_drained(&epoll, &mut slab, &mut buffer_pool, token);
                 self.sync_interest(&epoll, &mut slab, token);
             }
 
-            // Flush gathered batches: full batches flushed at push time;
-            // here we flush expired windows, everything on an idle
-            // pipeline, and everything when draining.
-            let idle_pipeline = self.in_flight.load(Ordering::Acquire) == 0;
+            // Flush gathered batches. Full batches flush at push time on
+            // whichever shard crossed the threshold; the *time-based*
+            // triggers — expired windows, pipeline-idle, and the tight
+            // epoll timeout that services them — are shard 0's job alone
+            // ("gather coordinator"). With N loops all polling, any-shard
+            // checks would multiply the wakeups and fire the idle trigger
+            // N× as often as the single-reactor loop did, stealing batches
+            // early and shrinking them. During drain every shard steals
+            // everything: each loop's exit condition requires the gather
+            // empty, and the coordinator may already be gone.
             let now = Instant::now();
-            for index in 0..pending.len() {
-                let due = pending[index].as_ref().is_some_and(|batch| {
-                    idle_pipeline
-                        || drain_started.is_some()
-                        || now.duration_since(batch.oldest)
-                            >= self.router.route_at(index).policy().gather_window
-                });
-                if due {
-                    self.flush_batch(&mut pending, index, &pool);
+            if self.id == 0 || drain_started.is_some() {
+                let flush_all =
+                    drain_started.is_some() || self.shared.in_flight.load(Ordering::Acquire) == 0;
+                for batch in self
+                    .shared
+                    .gather
+                    .take_due(&self.shared.router, now, flush_all)
+                {
+                    self.flush_batch(batch);
                 }
             }
 
@@ -570,7 +809,7 @@ impl Reactor {
                         // waiting on a slow handler are not.
                         let stalled_write = conn.written < conn.out.len();
                         (conn.drained() || stalled_write)
-                            && now.duration_since(conn.since) > self.idle_timeout
+                            && now.duration_since(conn.since) > self.shared.idle_timeout
                     });
                     if expired {
                         self.close_conn(&epoll, &mut slab, &mut buffer_pool, token);
@@ -578,14 +817,23 @@ impl Reactor {
                 }
             }
 
-            // Shutdown: stop accepting, mark every connection closing
-            // (drained ones drop immediately; the rest flush their pending
-            // responses, stamped `Connection: close`), then drain in-flight
-            // work before exiting.
-            if self.shutdown.load(Ordering::SeqCst) && drain_started.is_none() {
+            // Shutdown: close the listener *immediately* (a connect racing
+            // the stop() call is refused, instead of being accepted into a
+            // queue nobody will ever serve and hanging until the client
+            // times out), mark every connection closing (drained ones drop
+            // at once; the rest flush their pending responses, stamped
+            // `Connection: close`), then drain in-flight work before
+            // exiting.
+            if self.shared.shutdown.load(Ordering::SeqCst) && drain_started.is_none() {
                 drain_started = Some(now);
                 accepting = false;
-                let _ = epoll.delete(self.listener.as_raw_fd());
+                // Closing the fd also removes it from the epoll set.
+                drop(self.listener.take());
+                // Sockets handed off but not yet adopted are part of the
+                // same race; reset them now rather than serving nobody.
+                drop(std::mem::take(
+                    &mut *self.shared.mailboxes[self.id].handoff.lock(),
+                ));
                 for token in slab.live_tokens() {
                     let done = slab.get_mut(token).is_some_and(|conn| {
                         conn.closing = true;
@@ -598,86 +846,99 @@ impl Reactor {
                 }
             }
             if let Some(started) = drain_started {
-                let drained = pending.iter().all(Option::is_none)
-                    && self.in_flight.load(Ordering::Acquire) == 0
-                    && self
-                        .completions
-                        .lock()
-                        .expect("completions poisoned")
-                        .is_empty()
+                let drained = self.shared.gather.is_empty()
+                    && self.shared.in_flight.load(Ordering::Acquire) == 0
+                    && self.shared.mailboxes[self.id].completions.lock().is_empty()
                     && slab.is_empty();
                 if drained || now.duration_since(started) > DRAIN_DEADLINE {
                     break;
                 }
             }
         }
-        pool.join();
     }
 
-    /// Epoll timeout: tight when a gather window is pending, bounded by the
-    /// idle-sweep cadence otherwise, short while draining.
-    fn wait_timeout(
-        &self,
-        pending: &[Option<PendingBatch>],
-        sweep_every: Duration,
-        draining: bool,
-    ) -> i32 {
+    /// Epoll timeout: tight when a gather window is pending anywhere in
+    /// the process (gather-coordinator shard only — the others are woken
+    /// by their own I/O and completions, not by windows shard 0 will
+    /// service), bounded by the idle-sweep cadence otherwise, short while
+    /// draining.
+    fn wait_timeout(&self, sweep_every: Duration, draining: bool) -> i32 {
         if draining {
             return 10;
         }
-        let mut timeout = i32::try_from(sweep_every.as_millis().max(1))
+        let base = i32::try_from(sweep_every.as_millis().max(1))
             .unwrap_or(1_000)
             .min(1_000);
-        let now = Instant::now();
-        for (index, batch) in pending.iter().enumerate() {
-            if let Some(batch) = batch {
-                let window = self.router.route_at(index).policy().gather_window;
-                let elapsed = now.duration_since(batch.oldest);
-                let remaining = window.saturating_sub(elapsed);
-                // Round up so we never spin on a sub-millisecond remainder.
-                let ms = i32::try_from(remaining.as_millis())
-                    .unwrap_or(i32::MAX)
-                    .max(1);
-                timeout = timeout.min(ms);
-            }
+        if self.id != 0 {
+            return base;
         }
-        timeout
+        match self
+            .shared
+            .gather
+            .next_deadline_ms(&self.shared.router, Instant::now())
+        {
+            Some(ms) => base.min(ms),
+            None => base,
+        }
     }
 
-    /// Drains the accept queue. Returns `false` when accepting failed in a
-    /// way that warrants backing the listener off (fd exhaustion and
-    /// friends — with level-triggered readiness, leaving the listener
-    /// registered would spin the loop at 100% CPU).
-    fn accept_ready(&self, epoll: &Epoll, slab: &mut Slab, buffer_pool: &mut Vec<Vec<u8>>) -> bool {
+    /// Drains the accept queue, distributing accepted sockets: with kernel
+    /// sharding every connection stays on this shard (each shard has its
+    /// own listener); in hand-off mode shard 0 round-robins them across
+    /// all shards' inboxes. Returns `false` when accepting failed in a way
+    /// that warrants backing the listener off (fd exhaustion and friends —
+    /// with level-triggered readiness, leaving the listener registered
+    /// would spin the loop at 100% CPU).
+    fn accept_ready(
+        &mut self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+    ) -> bool {
         loop {
-            match self.listener.accept() {
+            let Some(listener) = &self.listener else {
+                return true;
+            };
+            match listener.accept() {
                 Ok((stream, _)) => {
+                    // A connect racing the shutdown: drop it for a prompt
+                    // reset. Handing it to another shard could strand it —
+                    // that shard may have drained and exited already, and
+                    // nobody resets its inbox until the process tears down.
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let conn = Conn {
-                        stream,
-                        buf: buffer_pool.pop().unwrap_or_default(),
-                        out: buffer_pool.pop().unwrap_or_default(),
-                        written: 0,
-                        since: Instant::now(),
-                        next_assign: 0,
-                        next_flush: 0,
-                        reorder: Vec::new(),
-                        closing: false,
-                        peer_eof: false,
-                        interest: EPOLLIN,
+                    let target = if self.distribute {
+                        let target = self.next_handoff % self.shared.reactors;
+                        self.next_handoff = self.next_handoff.wrapping_add(1);
+                        target
+                    } else {
+                        self.id
                     };
-                    let token = slab.insert(conn);
-                    let fd = slab
-                        .get_mut(token)
-                        .expect("just inserted")
-                        .stream
-                        .as_raw_fd();
-                    if epoll.add(fd, EPOLLIN, token).is_err() {
-                        let _ = slab.remove(token);
+                    if target == self.id {
+                        self.register_conn(epoll, slab, buffer_pool, stream);
+                    } else {
+                        let mailbox = &self.shared.mailboxes[target];
+                        let mut inbox = mailbox.handoff.lock();
+                        // Re-check under the inbox lock: the target drains
+                        // this inbox (dropping streams) on every draining
+                        // iteration before it exits, so lock ordering makes
+                        // this airtight — either our push lands before the
+                        // target's final drain-and-drop pass, or that pass
+                        // happened first and the shutdown store it observed
+                        // is visible to us here and we drop the stream
+                        // ourselves. No racing connect can be pushed into a
+                        // mailbox nobody will ever empty.
+                        if self.shared.shutdown.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        inbox.push(stream);
+                        drop(inbox);
+                        mailbox.waker.wake();
                     }
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => return true,
@@ -689,14 +950,51 @@ impl Reactor {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Adopts a fresh (already nonblocking) connection into this shard's
+    /// slab and epoll set.
+    fn register_conn(
+        &self,
+        epoll: &Epoll,
+        slab: &mut Slab,
+        buffer_pool: &mut Vec<Vec<u8>>,
+        stream: TcpStream,
+    ) {
+        self.shared
+            .stats
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.shards[self.id]
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        let conn = Conn {
+            stream,
+            buf: buffer_pool.pop().unwrap_or_default(),
+            out: buffer_pool.pop().unwrap_or_default(),
+            written: 0,
+            since: Instant::now(),
+            next_assign: 0,
+            next_flush: 0,
+            reorder: Vec::new(),
+            closing: false,
+            peer_eof: false,
+            interest: EPOLLIN,
+        };
+        let token = slab.insert(conn);
+        let fd = slab
+            .get_mut(token)
+            .expect("just inserted")
+            .stream
+            .as_raw_fd();
+        if epoll.add(fd, EPOLLIN, token).is_err() {
+            let _ = slab.remove(token);
+        }
+    }
+
     fn conn_ready(
         &self,
         epoll: &Epoll,
         slab: &mut Slab,
         buffer_pool: &mut Vec<Vec<u8>>,
-        pending: &mut [Option<PendingBatch>],
-        pool: &ThreadPool,
         token: u64,
         readiness: u32,
     ) {
@@ -708,13 +1006,13 @@ impl Reactor {
             return;
         }
         if readiness & EPOLLIN != 0 {
-            self.read_ready(epoll, slab, buffer_pool, pending, pool, token);
+            self.read_ready(epoll, slab, buffer_pool, token);
         }
         if readiness & EPOLLOUT != 0 && slab.get_mut(token).is_some() {
             self.try_write(epoll, slab, buffer_pool, token);
             // Write progress may have released the staged-bytes gate on
             // framing (a pipelining client fed by a slow reader).
-            self.frame_and_dispatch(epoll, slab, buffer_pool, pending, pool, token);
+            self.frame_and_dispatch(epoll, slab, buffer_pool, token);
             self.close_if_drained(epoll, slab, buffer_pool, token);
         }
         self.sync_interest(epoll, slab, token);
@@ -727,8 +1025,6 @@ impl Reactor {
         epoll: &Epoll,
         slab: &mut Slab,
         buffer_pool: &mut Vec<Vec<u8>>,
-        pending: &mut [Option<PendingBatch>],
-        pool: &ThreadPool,
         token: u64,
     ) {
         let pulled = {
@@ -773,27 +1069,30 @@ impl Reactor {
                 // flush; `peer_eof` only forbids *new* bytes. The framing
                 // loop flips the connection to closing once the buffer can
                 // never yield another request.
-                self.frame_and_dispatch(epoll, slab, buffer_pool, pending, pool, token);
+                self.frame_and_dispatch(epoll, slab, buffer_pool, token);
                 self.close_if_drained(epoll, slab, buffer_pool, token);
             }
         }
     }
 
     /// Frames as many complete requests as the connection's buffer holds
-    /// (bounded by the pipeline cap) and dispatches each.
+    /// (bounded by the pipeline cap) and dispatches each. Requests to
+    /// batched routes are buffered across the framing loop and pushed into
+    /// the shared gather as one atomic burst per route — a pipelined burst
+    /// arriving in one read must not be interleaved with (or stolen by) a
+    /// coordinator flush running on another core.
     fn frame_and_dispatch(
         &self,
         epoll: &Epoll,
         slab: &mut Slab,
         buffer_pool: &mut Vec<Vec<u8>>,
-        pending: &mut [Option<PendingBatch>],
-        pool: &ThreadPool,
         token: u64,
     ) {
+        let mut burst: Vec<(usize, Vec<(Dest, Request)>)> = Vec::new();
         loop {
             let step = {
                 let Some(conn) = slab.get_mut(token) else {
-                    return;
+                    break;
                 };
                 if conn.closing
                     || conn.pending_responses() >= MAX_PIPELINE
@@ -810,8 +1109,8 @@ impl Reactor {
                             // The keep-alive decision, per request: client
                             // intent ∧ per-connection budget ∧ liveness.
                             if !request.wants_keep_alive()
-                                || conn.next_assign >= self.max_requests_per_conn
-                                || self.shutdown.load(Ordering::Relaxed)
+                                || conn.next_assign >= self.shared.max_requests_per_conn
+                                || self.shared.shutdown.load(Ordering::Relaxed)
                             {
                                 conn.closing = true;
                                 conn.buf.clear();
@@ -839,8 +1138,11 @@ impl Reactor {
             };
             match step {
                 FrameStep::Frame(seq, request) => {
-                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    self.dispatch(epoll, slab, buffer_pool, pending, pool, token, seq, request);
+                    self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.shards[self.id]
+                        .requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.dispatch(epoll, slab, buffer_pool, token, seq, request, &mut burst);
                 }
                 FrameStep::Bad(seq, reason) => {
                     self.queue_response(
@@ -851,56 +1153,83 @@ impl Reactor {
                         seq,
                         Response::bad_request(&reason),
                     );
-                    return;
+                    break;
                 }
-                FrameStep::Stop => return,
+                FrameStep::Stop => break,
+            }
+        }
+        self.flush_burst(burst);
+    }
+
+    /// Pushes the framing pass's buffered batched-route requests into the
+    /// shared gather, one atomic `push_many` per route, flushing any batch
+    /// the burst filled and nudging the coordinator shard when a fresh
+    /// gather window opened.
+    fn flush_burst(&self, burst: Vec<(usize, Vec<(Dest, Request)>)>) {
+        for (route, entries) in burst {
+            let (full, first) = self
+                .shared
+                .gather
+                .push_many(&self.shared.router, route, entries);
+            for batch in full {
+                self.flush_batch(batch);
+            }
+            if first && self.id != 0 {
+                self.shared.mailboxes[0].waker.wake();
             }
         }
     }
 
-    /// Routes a parsed request: batched routes gather, scalar routes go to
-    /// the pool, and routing misses answer immediately (in order).
+    /// Routes a parsed request: batched routes buffer into the caller's
+    /// burst (pushed to the process-wide gather when the framing pass
+    /// ends), scalar routes go to the shared pool, and routing misses
+    /// answer immediately (in order).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         epoll: &Epoll,
         slab: &mut Slab,
         buffer_pool: &mut Vec<Vec<u8>>,
-        pending: &mut [Option<PendingBatch>],
-        pool: &ThreadPool,
         token: u64,
         seq: u64,
         request: Request,
+        burst: &mut Vec<(usize, Vec<(Dest, Request)>)>,
     ) {
-        match self.router.resolve(&request) {
-            Resolution::Route(index) if self.router.route_at(index).policy().is_batched() => {
-                let batch = pending[index].get_or_insert_with(|| PendingBatch {
-                    entries: Vec::new(),
-                    oldest: Instant::now(),
-                });
-                batch.entries.push((token, seq, request));
-                if batch.entries.len() >= self.router.route_at(index).policy().max_batch {
-                    self.flush_batch(pending, index, pool);
+        match self.shared.router.resolve(&request) {
+            Resolution::Route(index)
+                if self.shared.router.route_at(index).policy().is_batched() =>
+            {
+                let dest = (self.id, token, seq);
+                match burst.iter_mut().find(|(route, _)| *route == index) {
+                    Some((_, entries)) => entries.push((dest, request)),
+                    None => burst.push((index, vec![(dest, request)])),
                 }
             }
             Resolution::Route(index) => {
-                self.in_flight.fetch_add(1, Ordering::AcqRel);
-                let route: Arc<Route> = Arc::clone(self.router.route_at(index));
-                let completions = Arc::clone(&self.completions);
-                let waker = Arc::clone(&self.waker);
-                let in_flight = Arc::clone(&self.in_flight);
-                pool.execute(move || {
+                self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                let route: Arc<Route> = Arc::clone(self.shared.router.route_at(index));
+                let mailboxes = Arc::clone(&self.shared.mailboxes);
+                let in_flight = Arc::clone(&self.shared.in_flight);
+                let shard = self.id;
+                self.shared.pool.execute(move || {
                     let response = catch_unwind(AssertUnwindSafe(|| {
                         let mut out = route.run(std::slice::from_ref(&request));
                         out.pop().expect("arity asserted by Route::run")
                     }))
                     .unwrap_or_else(|_| Response::error(500, "handler panicked"));
-                    completions
+                    mailboxes[shard]
+                        .completions
                         .lock()
-                        .expect("completions poisoned")
                         .push((token, seq, response));
-                    in_flight.fetch_sub(1, Ordering::AcqRel);
-                    waker.wake();
+                    let now_idle = in_flight.fetch_sub(1, Ordering::AcqRel) == 1;
+                    mailboxes[shard].waker.wake();
+                    // The pipeline just went idle: the coordinator shard
+                    // owns the idle-flush trigger, so it must wake now —
+                    // not at its next sweep — or gathered batches wait out
+                    // their whole window.
+                    if now_idle && shard != 0 {
+                        mailboxes[0].waker.wake();
+                    }
                 });
             }
             Resolution::MethodNotAllowed => {
@@ -919,40 +1248,59 @@ impl Reactor {
         }
     }
 
-    /// Hands a gathered batch to the worker pool as one handler call.
-    fn flush_batch(&self, pending: &mut [Option<PendingBatch>], index: usize, pool: &ThreadPool) {
-        let Some(batch) = pending[index].take() else {
-            return;
-        };
+    /// Hands a gathered batch to the worker pool as one handler call; the
+    /// worker fans the responses back out to the owning shards' mailboxes.
+    fn flush_batch(&self, batch: GatheredBatch<Dest>) {
         let mut destinations = Vec::with_capacity(batch.entries.len());
         let mut requests = Vec::with_capacity(batch.entries.len());
-        for (token, seq, request) in batch.entries {
-            destinations.push((token, seq));
+        for (dest, request) in batch.entries {
+            destinations.push(dest);
             requests.push(request);
         }
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        self.stats
+        if requests.is_empty() {
+            return;
+        }
+        let shared = &self.shared;
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
             .batched_requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
-        let route: Arc<Route> = Arc::clone(self.router.route_at(index));
-        let completions = Arc::clone(&self.completions);
-        let waker = Arc::clone(&self.waker);
-        let in_flight = Arc::clone(&self.in_flight);
-        pool.execute(move || {
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let route: Arc<Route> = Arc::clone(shared.router.route_at(batch.route));
+        let mailboxes = Arc::clone(&shared.mailboxes);
+        let in_flight = Arc::clone(&shared.in_flight);
+        shared.pool.execute(move || {
             let responses =
                 catch_unwind(AssertUnwindSafe(|| route.run(&requests))).unwrap_or_else(|_| {
                     (0..destinations.len())
                         .map(|_| Response::error(500, "batch handler panicked"))
                         .collect()
                 });
-            let mut queue = completions.lock().expect("completions poisoned");
-            for ((token, seq), response) in destinations.into_iter().zip(responses) {
-                queue.push((token, seq, response));
+            // Group per shard: one lock round-trip and one wake per shard
+            // touched, not per response.
+            let mut touched = vec![false; mailboxes.len()];
+            let mut by_shard: Vec<Vec<(u64, u64, Response)>> =
+                (0..mailboxes.len()).map(|_| Vec::new()).collect();
+            for ((shard, token, seq), response) in destinations.into_iter().zip(responses) {
+                by_shard[shard].push((token, seq, response));
+                touched[shard] = true;
             }
-            drop(queue);
-            in_flight.fetch_sub(1, Ordering::AcqRel);
-            waker.wake();
+            for (shard, items) in by_shard.into_iter().enumerate() {
+                if !items.is_empty() {
+                    mailboxes[shard].completions.lock().extend(items);
+                }
+            }
+            // Going idle hands the idle-flush trigger to the coordinator
+            // shard; wake it even if no response of this batch was its.
+            if in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                touched[0] = true;
+            }
+            for (shard, hit) in touched.iter().enumerate() {
+                if *hit {
+                    mailboxes[shard].waker.wake();
+                }
+            }
         });
     }
 
@@ -1224,6 +1572,73 @@ mod tests {
     }
 
     #[test]
+    fn sharded_reactor_serves_across_shards() {
+        // Four event loops behind one address (kernel sharding when the
+        // host supports it, hand-off otherwise): every request is served,
+        // and the per-shard breakdowns sum to the aggregate.
+        let server = ReactorServer::bind_sharded("127.0.0.1:0", 4, 1).unwrap();
+        assert_eq!(server.reactors(), 4);
+        assert_ne!(server.accept_sharding(), AcceptSharding::Auto);
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut joins = Vec::new();
+        for i in 0..32u32 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let response = client.get(&format!("/echo?msg=s{i}")).unwrap();
+                assert_eq!(response.status, 200);
+                assert_eq!(response.body, format!("s{i}").into_bytes());
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.requests(), 32);
+        assert_eq!(stats.connections(), 32);
+        assert_eq!(stats.shards().len(), 4);
+        let shard_connections: u64 = stats.shards().iter().map(ShardStats::connections).sum();
+        let shard_requests: u64 = stats.shards().iter().map(ShardStats::requests).sum();
+        assert_eq!(shard_connections, stats.connections());
+        assert_eq!(shard_requests, stats.requests());
+        // 32 connections over 4 shards: all landing on one shard has
+        // probability ~4^-31 under kernel hashing, and is impossible under
+        // round-robin hand-off.
+        let active = stats
+            .shards()
+            .iter()
+            .filter(|s| s.connections() > 0)
+            .count();
+        assert!(active >= 2, "all connections landed on one shard");
+        handle.stop();
+    }
+
+    #[test]
+    fn handoff_fallback_distributes_round_robin() {
+        let server =
+            ReactorServer::bind_sharded_with("127.0.0.1:0", 3, 1, AcceptSharding::HandOff).unwrap();
+        assert_eq!(server.accept_sharding(), AcceptSharding::HandOff);
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        // Sequential connections: shard 0 accepts each and deals them
+        // round-robin, so the split is deterministic.
+        for i in 0..6 {
+            let client = HttpClient::new(addr);
+            let response = client.get(&format!("/echo?msg=h{i}")).unwrap();
+            assert_eq!(response.body, format!("h{i}").into_bytes());
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.connections(), 6);
+        for (id, shard) in stats.shards().iter().enumerate() {
+            assert_eq!(shard.connections(), 2, "shard {id} connection share");
+            assert_eq!(shard.requests(), 2, "shard {id} request share");
+        }
+        handle.stop();
+    }
+
+    #[test]
     fn batched_route_coalesces_concurrent_requests() {
         // Deterministic gathering: two slow scalar requests occupy both
         // workers, so the batched route's requests pile up (the pipeline is
@@ -1283,6 +1698,70 @@ mod tests {
             "coalescing regressed: {} batches for 24 requests",
             stats.batches()
         );
+        handle.stop();
+    }
+
+    #[test]
+    fn sharded_gather_coalesces_across_shards() {
+        // Connections spread over 2 shards (round-robin hand-off for
+        // determinism) while both workers are pinned by slow requests: the
+        // batched requests arriving on *different* event loops must still
+        // gather into common flushes — the shared-gather design.
+        let mut router = Router::new();
+        router.get("/slow", |_| {
+            thread::sleep(Duration::from_millis(500));
+            Response::ok("text/plain", b"slow".to_vec())
+        });
+        router.route(
+            "GET",
+            "/batch/",
+            BatchPolicy {
+                max_batch: 64,
+                gather_window: Duration::from_secs(10),
+            },
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(requests.iter().map(|r| {
+                    let uid = r.query_param("uid").unwrap_or("?");
+                    Response::ok("text/plain", format!("u{uid}").into_bytes())
+                }));
+            },
+        );
+        let server =
+            ReactorServer::bind_sharded_with("127.0.0.1:0", 2, 1, AcceptSharding::HandOff).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                assert_eq!(client.get("/slow").unwrap().status, 200);
+            }));
+        }
+        thread::sleep(Duration::from_millis(100));
+        for uid in 0..24u32 {
+            joins.push(thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                let response = client.get(&format!("/batch/?uid={uid}")).unwrap();
+                assert_eq!(response.status, 200);
+                assert_eq!(response.body, format!("u{uid}").into_bytes());
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.batched_requests(), 24);
+        // Both shards carried batch traffic, yet the requests coalesced
+        // into a handful of process-wide flushes — a per-shard gather
+        // would produce roughly one flush per shard per round instead.
+        assert!(
+            stats.batches() <= 4,
+            "cross-shard coalescing regressed: {} batches for 24 requests",
+            stats.batches()
+        );
+        let active = stats.shards().iter().filter(|s| s.requests() > 0).count();
+        assert_eq!(active, 2, "round-robin should have loaded both shards");
         handle.stop();
     }
 
@@ -1349,6 +1828,71 @@ mod tests {
     }
 
     #[test]
+    fn sharded_pipelined_burst_stays_one_batch() {
+        // The ready-made-batch property must survive sharding: a burst
+        // framed in one read on one shard enters the shared gather
+        // atomically (push_many), so a coordinator idle-flush on another
+        // loop cannot splinter it into per-request handler calls.
+        let mut router = Router::new();
+        router.route(
+            "GET",
+            "/batch/",
+            BatchPolicy {
+                max_batch: 64,
+                gather_window: Duration::from_millis(200),
+            },
+            |requests: &[Request], out: &mut Vec<Response>| {
+                let size = requests.len();
+                out.extend(requests.iter().map(|r| {
+                    let uid = r.query_param("uid").unwrap_or("?");
+                    Response::ok("text/plain", format!("u{uid}:n{size}").into_bytes())
+                }));
+            },
+        );
+        let server =
+            ReactorServer::bind_sharded_with("127.0.0.1:0", 2, 1, AcceptSharding::HandOff).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut wire = Vec::new();
+        for uid in 0..3 {
+            wire.extend_from_slice(
+                format!("GET /batch/?uid={uid} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+            );
+        }
+        stream.write_all(&wire).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut responses = Vec::new();
+        while responses.len() < 3 {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early");
+            buf.extend_from_slice(&chunk[..n]);
+            while let Some((response, consumed)) = Response::try_parse(&buf).unwrap() {
+                buf.drain(..consumed);
+                responses.push(response);
+            }
+        }
+        for (uid, response) in responses.iter().enumerate() {
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, format!("u{uid}:n3").into_bytes());
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.batched_requests(), 3);
+        assert_eq!(
+            stats.batches(),
+            1,
+            "sharded pipelined burst split across batches"
+        );
+        handle.stop();
+    }
+
+    #[test]
     fn half_closed_client_still_gets_a_response() {
         // shutdown(SHUT_WR) after sending is a legal client pattern; the
         // buffered request must still be served (with Connection: close,
@@ -1388,6 +1932,53 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_content_lengths_get_400() {
+        // The request-smuggling-shaped framing bug: duplicate
+        // Content-Length headers that disagree must be rejected, not
+        // silently resolved to one of them (a pipelined attacker could
+        // otherwise desync our framing from an upstream proxy's).
+        use std::io::{Read as _, Write as _};
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(ping_router());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"POST /ping HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\
+                  content-length: 11\r\n\r\nGET /smuggled",
+            )
+            .unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf);
+        assert!(buf.starts_with("HTTP/1.1 400"), "got: {buf}");
+        assert!(buf.contains("connection: close"), "got: {buf}");
+        handle.stop();
+    }
+
+    #[test]
+    fn panicking_handler_answers_500_and_the_reactor_survives() {
+        // One bad handler must cost its request a 500 — never the
+        // connection, the completion queue, or a pool worker.
+        let mut router = ping_router();
+        router.get("/boom", |_| -> Response { panic!("handler bug") });
+        let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr();
+        let handle = server.serve(router);
+
+        let client = HttpClient::new(addr);
+        assert_eq!(client.get("/boom").unwrap().status, 500);
+        // Same connection keeps working (the panic was translated, not
+        // propagated), and with a 1-worker pool a dead worker would hang
+        // this request forever.
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        assert_eq!(client.get("/boom").unwrap().status, 500);
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        assert_eq!(handle.stats().connections(), 1);
+        handle.stop();
+    }
+
+    #[test]
     fn wrong_method_and_missing_route_status_codes() {
         let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
         let addr = server.local_addr();
@@ -1408,6 +1999,27 @@ mod tests {
         handle.stop();
         let client = HttpClient::new(addr);
         assert!(client.get("/ping").is_err());
+    }
+
+    #[test]
+    fn sharded_stop_terminates_every_event_loop() {
+        for mode in [AcceptSharding::Auto, AcceptSharding::HandOff] {
+            let server = ReactorServer::bind_sharded_with("127.0.0.1:0", 4, 1, mode).unwrap();
+            let addr = server.local_addr();
+            let handle = server.serve(ping_router());
+            // Serve at least one request so the loops are demonstrably up.
+            let client = HttpClient::new(addr);
+            assert_eq!(client.get("/ping").unwrap().status, 200);
+            drop(client);
+            let started = Instant::now();
+            handle.stop();
+            assert!(
+                started.elapsed() < Duration::from_secs(2),
+                "sharded shutdown hung ({mode:?})"
+            );
+            let client = HttpClient::new(addr);
+            assert!(client.get("/ping").is_err(), "a shard kept serving");
+        }
     }
 
     #[test]

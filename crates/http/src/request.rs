@@ -147,7 +147,21 @@ impl Request {
                 break;
             }
             if let Some((name, value)) = header_line.split_once(':') {
-                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                // Duplicate Content-Length headers that disagree are the
+                // classic request-smuggling vector: two parsers picking
+                // different occurrences frame the stream differently.
+                // Reject outright; identical repeats collapse to one
+                // (RFC 7230 §3.3.2 allows either).
+                if name == "content-length" {
+                    if let Some(previous) = headers.get(&name) {
+                        if previous != &value {
+                            return Err("conflicting content-length headers".to_owned());
+                        }
+                    }
+                }
+                headers.insert(name, value);
             }
         }
 
@@ -202,8 +216,13 @@ impl Request {
             return Err("header block too large".to_owned());
         }
         // Light scan for Content-Length to learn the total frame size; an
-        // invalid value falls through to the full parser, which rejects it.
-        let body_len = content_length(&buf[..head_end]).unwrap_or(0);
+        // invalid value falls through to the full parser, which rejects it,
+        // but *conflicting duplicates* are rejected right here — using
+        // either occurrence would frame the pipelined stream differently
+        // from a peer that picked the other (request smuggling).
+        let body_len = content_length(&buf[..head_end])
+            .map_err(|()| "conflicting content-length headers".to_owned())?
+            .unwrap_or(0);
         if body_len > MAX_BODY_BYTES {
             return Err("body too large".to_owned());
         }
@@ -222,21 +241,29 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
         .position(|window| window == needle)
 }
 
-/// Extracts `Content-Length` from a raw header block (case-insensitive,
-/// last occurrence wins — matching the full parser's header-map semantics).
-fn content_length(head: &[u8]) -> Option<usize> {
-    let mut found = None;
+/// Extracts `Content-Length` from a raw header block (case-insensitive).
+/// Identical repeats collapse to one; occurrences whose *raw values*
+/// disagree return `Err(())` — the caller must refuse to frame the request
+/// (see `try_parse`). Values are compared textually, before parsing, so
+/// `07` vs `7` is already a conflict: two peers normalizing differently is
+/// exactly the smuggling hazard.
+fn content_length(head: &[u8]) -> Result<Option<usize>, ()> {
+    let mut seen: Option<&str> = None;
     for line in head.split(|&b| b == b'\n') {
         let Ok(line) = std::str::from_utf8(line) else {
             continue;
         };
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                found = value.trim().parse().ok();
+                let value = value.trim();
+                if seen.is_some_and(|previous| previous != value) {
+                    return Err(());
+                }
+                seen = Some(value);
             }
         }
     }
-    found
+    Ok(seen.and_then(|value| value.parse().ok()))
 }
 
 /// Decodes `k=v&k2=v2` with percent-encoding and `+`-as-space.
@@ -384,6 +411,36 @@ mod tests {
         assert!(Request::try_parse(raw.as_bytes()).is_err());
         // A malformed request line errors once the header block is complete.
         assert!(Request::try_parse(b"NONSENSE\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        // Mismatched duplicates are the smuggling shape: refuse to frame.
+        let raw =
+            "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\nGET /smuggled";
+        assert!(parse_str(raw).is_err());
+        assert!(Request::try_parse(raw.as_bytes()).is_err());
+        // Textual disagreement counts even when the numbers agree: another
+        // parser normalizing `07` differently would frame differently.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 07\r\n\r\n7 bytes";
+        assert!(parse_str(raw).is_err());
+        assert!(Request::try_parse(raw.as_bytes()).is_err());
+        // The error is final, not a plea for more bytes: a truncated buffer
+        // that already shows the conflict must not parse as Partial.
+        let head_only = "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n";
+        assert!(Request::try_parse(head_only.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn identical_duplicate_content_lengths_collapse() {
+        // RFC 7230 §3.3.2 allows collapsing identical repeats; both the
+        // incremental and the stream parser must agree on the framing.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhelloEXTRA";
+        let request = parse_str(&raw[..raw.len() - 5]).unwrap();
+        assert_eq!(request.body, b"hello");
+        let (request, consumed) = Request::try_parse(raw.as_bytes()).unwrap().unwrap();
+        assert_eq!(consumed, raw.len() - 5);
+        assert_eq!(request.body, b"hello");
     }
 
     #[test]

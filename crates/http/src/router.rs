@@ -14,8 +14,9 @@
 
 use crate::request::Request;
 use crate::response::Response;
+use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A request handler: the one trait both server front-ends dispatch
 /// through.
@@ -298,6 +299,183 @@ impl Router {
     }
 }
 
+/// Process-wide gather state for coalescable routes — **shard-safe**: one
+/// pending batch per route behind a non-poisoning mutex, shared by every
+/// reactor event loop, so `/online/` requests landing on *different*
+/// reactor shards still coalesce into one handler call. Entries carry an
+/// opaque destination `D` (shard, connection, sequence) that the flusher
+/// uses to route each response back to the loop that owns its connection.
+///
+/// The lock is held only for push/steal bookkeeping — never across handler
+/// execution — so shards contend for nanoseconds per request, not for the
+/// batch's service time.
+pub(crate) struct Gather<D> {
+    /// One slot per route (indexed by route-table index); only slots of
+    /// coalescable routes are ever touched.
+    slots: Vec<Mutex<GatherSlot<D>>>,
+    /// Route indices whose policy can gather — the only slots the sweep
+    /// loops visit, so the coordinator's per-pass cost scales with the
+    /// number of *batched* routes, not the whole route table.
+    batched: Vec<usize>,
+}
+
+/// One route's pending batch.
+struct GatherSlot<D> {
+    entries: Vec<(D, Request)>,
+    /// Arrival time of the oldest pending entry (`None` when empty).
+    oldest: Option<Instant>,
+}
+
+/// A batch stolen from the gather, ready for one handler call.
+pub(crate) struct GatheredBatch<D> {
+    /// Route-table index the batch belongs to.
+    pub route: usize,
+    /// Destination-tagged requests, in arrival order.
+    pub entries: Vec<(D, Request)>,
+}
+
+/// What [`Gather::push`] did with the request (single-entry convenience
+/// used by the unit tests; the reactor pushes whole bursts via
+/// [`Gather::push_many`]).
+#[cfg(test)]
+pub(crate) enum Pushed<D> {
+    /// The push crossed the route's `max_batch`: the whole batch comes
+    /// back, and this pusher (exactly one concurrent pusher can cross the
+    /// threshold) is responsible for flushing it.
+    Full(GatheredBatch<D>),
+    /// The request is pending. `first` means it opened a fresh slot, so a
+    /// gather window is now running that somebody must service — the
+    /// reactor uses it to nudge the coordinator shard awake.
+    Pending {
+        /// Whether this entry is the new oldest of its slot.
+        first: bool,
+    },
+}
+
+impl<D> Gather<D> {
+    /// One empty slot per route in `router`.
+    pub(crate) fn new(router: &Router) -> Self {
+        Self {
+            slots: (0..router.route_count())
+                .map(|_| {
+                    Mutex::new(GatherSlot {
+                        entries: Vec::new(),
+                        oldest: None,
+                    })
+                })
+                .collect(),
+            batched: (0..router.route_count())
+                .filter(|&route| router.route_at(route).policy().is_batched())
+                .collect(),
+        }
+    }
+
+    /// Adds a request to `route`'s pending batch; see [`Pushed`] for the
+    /// outcomes.
+    #[cfg(test)]
+    pub(crate) fn push(
+        &self,
+        router: &Router,
+        route: usize,
+        dest: D,
+        request: Request,
+    ) -> Pushed<D> {
+        let (mut full, first) = self.push_many(router, route, vec![(dest, request)]);
+        match full.pop() {
+            Some(batch) => Pushed::Full(batch),
+            None => Pushed::Pending { first },
+        }
+    }
+
+    /// Adds a whole burst of requests to `route`'s pending batch under
+    /// **one** lock acquisition — so a pipelined burst framed in one read
+    /// enters the gather atomically, and a coordinator idle-flush running
+    /// on another core cannot steal the slot between its entries and
+    /// splinter a ready-made batch into per-request handler calls.
+    ///
+    /// Returns every batch the burst filled (a long burst can cross
+    /// `max_batch` several times) plus whether a fresh slot was opened (a
+    /// gather window is now running that the coordinator must service).
+    pub(crate) fn push_many(
+        &self,
+        router: &Router,
+        route: usize,
+        entries: Vec<(D, Request)>,
+    ) -> (Vec<GatheredBatch<D>>, bool) {
+        let max_batch = router.route_at(route).policy().max_batch;
+        let mut slot = self.slots[route].lock();
+        let mut first = false;
+        let mut full = Vec::new();
+        for entry in entries {
+            if slot.entries.is_empty() {
+                slot.oldest = Some(Instant::now());
+                first = true;
+            }
+            slot.entries.push(entry);
+            if slot.entries.len() >= max_batch {
+                slot.oldest = None;
+                full.push(GatheredBatch {
+                    route,
+                    entries: std::mem::take(&mut slot.entries),
+                });
+            }
+        }
+        (full, first)
+    }
+
+    /// Steals every batch that is due: its gather window expired, or
+    /// `flush_all` (pipeline idle / drain) forces everything out.
+    pub(crate) fn take_due(
+        &self,
+        router: &Router,
+        now: Instant,
+        flush_all: bool,
+    ) -> Vec<GatheredBatch<D>> {
+        let mut due = Vec::new();
+        for &route in &self.batched {
+            let mut slot = self.slots[route].lock();
+            let expired = slot.oldest.is_some_and(|oldest| {
+                flush_all
+                    || now.duration_since(oldest) >= router.route_at(route).policy().gather_window
+            });
+            if expired {
+                slot.oldest = None;
+                due.push(GatheredBatch {
+                    route,
+                    entries: std::mem::take(&mut slot.entries),
+                });
+            }
+        }
+        due
+    }
+
+    /// Milliseconds until the soonest pending gather window expires
+    /// (rounded up; ≥ 1 so callers never busy-spin on a sub-millisecond
+    /// remainder), or `None` when nothing is pending.
+    pub(crate) fn next_deadline_ms(&self, router: &Router, now: Instant) -> Option<i32> {
+        let mut soonest: Option<i32> = None;
+        for &route in &self.batched {
+            let slot = self.slots[route].lock();
+            if let Some(oldest) = slot.oldest {
+                let window = router.route_at(route).policy().gather_window;
+                let remaining = window.saturating_sub(now.duration_since(oldest));
+                let ms = i32::try_from(remaining.as_millis())
+                    .unwrap_or(i32::MAX)
+                    .max(1);
+                soonest = Some(soonest.map_or(ms, |s| s.min(ms)));
+            }
+        }
+        soonest
+    }
+
+    /// Whether every slot is empty (the drain-completion condition).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.batched
+            .iter()
+            .all(|&route| self.slots[route].lock().entries.is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +616,71 @@ mod tests {
             },
         );
         assert_eq!(router.dispatch(&req("GET", "/same/")).body, b"batch");
+    }
+
+    #[test]
+    fn gather_fills_expires_and_drains() {
+        let mut router = Router::new();
+        router.route(
+            "GET",
+            "/g/",
+            BatchPolicy {
+                max_batch: 3,
+                gather_window: Duration::from_millis(5),
+            },
+            |requests: &[Request], out: &mut Vec<Response>| {
+                out.extend(
+                    requests
+                        .iter()
+                        .map(|_| Response::ok("text/plain", Vec::new())),
+                );
+            },
+        );
+        let gather: Gather<u32> = Gather::new(&router);
+        assert!(gather.is_empty());
+
+        // The first push opens the slot (a window starts), the second
+        // joins it, the third crosses max_batch and returns the whole
+        // batch to its pusher.
+        assert!(matches!(
+            gather.push(&router, 0, 1, req("GET", "/g/")),
+            Pushed::Pending { first: true }
+        ));
+        assert!(matches!(
+            gather.push(&router, 0, 2, req("GET", "/g/")),
+            Pushed::Pending { first: false }
+        ));
+        assert!(!gather.is_empty());
+        let now = Instant::now();
+        assert!(gather.next_deadline_ms(&router, now).is_some());
+        let Pushed::Full(full) = gather.push(&router, 0, 3, req("GET", "/g/")) else {
+            panic!("third push must fill the batch");
+        };
+        assert_eq!(full.route, 0);
+        assert_eq!(
+            full.entries.iter().map(|(d, _)| *d).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(gather.is_empty());
+        assert_eq!(gather.next_deadline_ms(&router, now), None);
+
+        // A lone pending entry is stolen once its window expires (or
+        // unconditionally with flush_all).
+        assert!(matches!(
+            gather.push(&router, 0, 4, req("GET", "/g/")),
+            Pushed::Pending { first: true }
+        ));
+        assert!(gather.take_due(&router, Instant::now(), false).is_empty());
+        let due = gather.take_due(&router, Instant::now() + Duration::from_millis(10), false);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].entries.len(), 1);
+        assert!(matches!(
+            gather.push(&router, 0, 5, req("GET", "/g/")),
+            Pushed::Pending { first: true }
+        ));
+        let forced = gather.take_due(&router, Instant::now(), true);
+        assert_eq!(forced.len(), 1);
+        assert!(gather.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 #![allow(unsafe_code)]
 
 use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 
 /// Readable readiness.
@@ -24,6 +25,14 @@ const EPOLL_CTL_MOD: i32 = 3;
 const EPOLL_CLOEXEC: i32 = 0x80000;
 const EFD_CLOEXEC: i32 = 0x80000;
 const EFD_NONBLOCK: i32 = 0x800;
+// Socket-creation constants (Linux generic ABI; x86-64 and aarch64 share
+// these values — the architectures this reproduction targets).
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0x80000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEPORT: i32 = 15;
 
 /// One readiness event. Mirrors the kernel's `struct epoll_event`, which is
 /// packed on x86-64.
@@ -64,9 +73,133 @@ extern "C" {
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
     fn eventfd(initval: u32, flags: i32) -> i32;
+    fn socket(domain: i32, kind: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+    fn bind(fd: i32, addr: *const u8, addrlen: u32) -> i32;
     fn listen(fd: i32, backlog: i32) -> i32;
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+/// `struct sockaddr_in` (network byte order for port and address).
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6` (network byte order for port; the address is a
+/// plain byte array already in wire order).
+#[repr(C)]
+struct SockAddrIn6 {
+    sin6_family: u16,
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+/// Creates a listening TCP socket with `SO_REUSEPORT` set *before* bind —
+/// the accept-sharding primitive: N listeners bound to one address, each
+/// owned by one reactor event loop, with the kernel hashing incoming
+/// connections across them (no shared accept queue, no hand-off).
+///
+/// `std::net::TcpListener` cannot express this (it binds inside
+/// `TcpListener::bind` with no hook to set options first), so the socket is
+/// created raw and wrapped after `listen`.
+///
+/// # Errors
+///
+/// Propagates the first failing syscall's errno. On kernels without
+/// `SO_REUSEPORT` (pre-3.9) the `setsockopt` fails with `ENOPROTOOPT`;
+/// callers should fall back to accept hand-off (see
+/// [`reuseport_supported`]).
+pub fn bind_reuseport(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let family = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    // SAFETY: socket takes no pointers; a non-negative return is a fresh fd
+    // we immediately take ownership of.
+    let raw = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    // SAFETY: `raw` is a valid fd owned by nobody else.
+    let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+    let one: i32 = 1;
+    // SAFETY: passes a live 4-byte value with its correct length.
+    cvt(unsafe {
+        setsockopt(
+            fd.as_raw_fd(),
+            SOL_SOCKET,
+            SO_REUSEPORT,
+            std::ptr::addr_of!(one).cast(),
+            4,
+        )
+    })?;
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            // SAFETY: `sa` is a live, correctly-sized sockaddr_in.
+            cvt(unsafe {
+                bind(
+                    fd.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            // SAFETY: `sa` is a live, correctly-sized sockaddr_in6.
+            cvt(unsafe {
+                bind(
+                    fd.as_raw_fd(),
+                    std::ptr::addr_of!(sa).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    // SAFETY: listen takes no pointers; `fd` is a live, bound socket.
+    cvt(unsafe { listen(fd.as_raw_fd(), backlog) })?;
+    Ok(TcpListener::from(fd))
+}
+
+/// Whether this kernel accepts `SO_REUSEPORT` (Linux ≥ 3.9). Probed once
+/// per call with a throwaway socket; callers decide between kernel accept
+/// sharding and the hand-off fallback.
+#[must_use]
+pub fn reuseport_supported() -> bool {
+    // SAFETY: socket takes no pointers.
+    let Ok(raw) = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) }) else {
+        return false;
+    };
+    // SAFETY: `raw` is a valid fd owned by nobody else (closed on drop).
+    let fd = unsafe { OwnedFd::from_raw_fd(raw) };
+    let one: i32 = 1;
+    // SAFETY: passes a live 4-byte value with its correct length.
+    cvt(unsafe {
+        setsockopt(
+            fd.as_raw_fd(),
+            SOL_SOCKET,
+            SO_REUSEPORT,
+            std::ptr::addr_of!(one).cast(),
+            4,
+        )
+    })
+    .is_ok()
 }
 
 /// Re-issues `listen(2)` on an already-listening socket to widen its accept
@@ -258,6 +391,36 @@ mod tests {
         epoll.delete(waker.raw_fd()).unwrap();
         waker.wake();
         assert_eq!(epoll.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_port_and_split_accepts() {
+        use std::net::TcpStream;
+        use std::time::{Duration, Instant};
+
+        if !reuseport_supported() {
+            return; // pre-3.9 kernel: the reactor falls back to hand-off
+        }
+        let first = bind_reuseport("127.0.0.1:0".parse().unwrap(), 16).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A second listener on the *same* concrete port succeeds only with
+        // SO_REUSEPORT set on both.
+        let second = bind_reuseport(addr, 16).unwrap();
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+
+        let clients: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let mut accepted = 0usize;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while accepted < clients.len() && Instant::now() < deadline {
+            for listener in [&first, &second] {
+                while listener.accept().is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        // Every connection landed in exactly one of the two accept queues.
+        assert_eq!(accepted, clients.len());
     }
 
     #[test]

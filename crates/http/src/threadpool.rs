@@ -7,6 +7,7 @@
 //! behind the [`crate::reactor::ReactorServer`] a job is one request or
 //! one coalesced batch, so persistent connections never pin a worker.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -58,11 +59,22 @@ impl ThreadPool {
                 let receiver = Arc::clone(&receiver);
                 thread::spawn(move || loop {
                     let job = {
-                        let guard = receiver.lock().expect("pool receiver poisoned");
+                        // Recover rather than propagate poisoning: the
+                        // receiver is only *held* across `recv`, which
+                        // cannot leave it mid-mutation, and a dead worker
+                        // here would silently shrink the crew forever.
+                        let guard = match receiver.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
                         guard.recv()
                     };
                     match job {
-                        Ok(job) => job(),
+                        // A panicking job must cost only itself, never the
+                        // worker: the front-ends size their pools assuming
+                        // every member stays alive (one bad handler taking
+                        // a worker down would wedge a 1-worker reactor).
+                        Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
                         Err(_) => break, // channel closed: shut down
                     }
                 })
@@ -154,6 +166,26 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_size_panics() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        // A 1-worker pool: if the panicking job killed its worker, the
+        // follow-up jobs would never run and join() would still return
+        // (channel closed) with the counter short.
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 0..6 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                if round % 2 == 0 {
+                    panic!("job {round} blew up");
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -47,15 +47,28 @@ fn populated_server() -> Arc<HyRecServer> {
 }
 
 fn spawn_reactor(server: &Arc<HyRecServer>) -> (hyrec_http::reactor::ReactorHandle, HttpClient) {
+    let (handle, client, _) = spawn_sharded(server, 1);
+    (handle, client)
+}
+
+/// Spins up the HyRec API on a `reactors`-sharded reactor front-end.
+fn spawn_sharded(
+    server: &Arc<HyRecServer>,
+    reactors: usize,
+) -> (
+    hyrec_http::reactor::ReactorHandle,
+    HttpClient,
+    std::net::SocketAddr,
+) {
     let policy = BatchPolicy {
         max_batch: 32,
         gather_window: Duration::from_millis(2),
     };
     let router = api::hyrec_router_with(Arc::clone(server), Arc::new(JobEncoder::new()), policy);
-    let http = ReactorServer::bind("127.0.0.1:0", 2).expect("bind reactor");
+    let http = ReactorServer::bind_sharded("127.0.0.1:0", reactors, 2).expect("bind reactor");
     let addr = http.local_addr();
     let handle = http.serve(router);
-    (handle, HttpClient::new(addr))
+    (handle, HttpClient::new(addr), addr)
 }
 
 #[test]
@@ -291,6 +304,188 @@ fn pipelined_keep_alive_bodies_match_scalar_path_in_order() {
         "pipelining failed to widen batching: {} batches for {} requests",
         stats.batches(),
         USERS
+    );
+    handle.stop();
+}
+
+#[test]
+fn sharded_online_bodies_match_single_reactor_byte_for_byte() {
+    // The multi-reactor acceptance check: the same deterministic
+    // population served through four event loops must produce responses
+    // byte-identical to the single-reactor path (and, transitively, to the
+    // scalar build_job + encode pipeline).
+    let single_population = populated_server();
+    let sharded_population = populated_server();
+    let (single_handle, single_client) = spawn_reactor(&single_population);
+    let (sharded_handle, sharded_client, _) = spawn_sharded(&sharded_population, 4);
+
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        let single_client = single_client.clone();
+        let sharded_client = sharded_client.clone();
+        joins.push(thread::spawn(move || {
+            let single = single_client
+                .get(&format!("/online/?uid={u}"))
+                .expect("1-reactor online");
+            let sharded = sharded_client
+                .get(&format!("/online/?uid={u}"))
+                .expect("4-reactor online");
+            assert_eq!(single.status, 200);
+            assert_eq!(sharded.status, 200);
+            assert_eq!(
+                sharded.body, single.body,
+                "sharded body diverged from the 1-reactor path for uid {u}"
+            );
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let stats = sharded_handle.stats();
+    assert_eq!(stats.batched_requests(), u64::from(USERS));
+    assert_eq!(stats.shards().len(), 4);
+    assert_eq!(
+        stats.shards().iter().map(|s| s.requests()).sum::<u64>(),
+        stats.requests(),
+        "per-shard request counts must sum to the aggregate"
+    );
+    single_handle.stop();
+    sharded_handle.stop();
+}
+
+#[test]
+fn sharded_interleaved_rate_and_online_traffic_matches_scalar_path() {
+    // The interleaved ingest + query replay of the 1-reactor suite, driven
+    // against 4 shards: coalesced /rate/ ingest arriving on different
+    // event loops must leave the tables byte-identical to scalar ingest,
+    // and the follow-up /online/ bodies must match the scalar pipeline.
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client, _) = spawn_sharded(&live, 4);
+
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        let client = client.clone();
+        joins.push(thread::spawn(move || {
+            let fresh = client
+                .get(&format!("/rate/?uid={u}&item={}&like=1", 1000 + u))
+                .expect("rate like");
+            assert_eq!(fresh.status, 200);
+            let flip = client
+                .get(&format!("/rate/?uid={u}&item={}&like=0", (u % 5) * 100))
+                .expect("rate flip");
+            assert_eq!(flip.status, 200);
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for u in 0..USERS {
+        assert!(twin.record(UserId(u), ItemId(1000 + u), Vote::Like));
+        assert!(twin.record(UserId(u), ItemId((u % 5) * 100), Vote::Dislike));
+    }
+
+    let twin_encoder = JobEncoder::new();
+    let expected: Vec<Vec<u8>> = (0..USERS)
+        .map(|u| twin_encoder.encode(&twin.build_job(UserId(u))))
+        .collect();
+    let mut joins = Vec::new();
+    for u in 0..USERS {
+        let expected_body = expected[u as usize].clone();
+        let client = client.clone();
+        joins.push(thread::spawn(move || {
+            let response = client.get(&format!("/online/?uid={u}")).expect("online");
+            assert_eq!(response.status, 200);
+            assert_eq!(
+                response.body, expected_body,
+                "post-ingest sharded body diverged for uid {u}"
+            );
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    for u in 0..USERS {
+        assert_eq!(
+            live.profile_of(UserId(u)),
+            twin.profile_of(UserId(u)),
+            "profile diverged for uid {u}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn sharded_pipelined_keep_alive_bodies_stay_in_order_per_connection() {
+    // The pipelined keep-alive replay against 4 shards: each "browser"
+    // pipelines several /online/ calls on one persistent connection, which
+    // lives on exactly one shard — responses must come back on the right
+    // connection, in request order, byte-identical to the scalar pipeline,
+    // even while other connections exercise other shards concurrently.
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    const PIPELINE: u32 = 3;
+    let live = populated_server();
+    let twin = populated_server();
+    let (handle, client, addr) = spawn_sharded(&live, 4);
+    drop(client);
+
+    let twin_encoder = JobEncoder::new();
+    let expected: Vec<Vec<u8>> = (0..USERS)
+        .map(|u| twin_encoder.encode(&twin.build_job(UserId(u))))
+        .collect();
+
+    let mut joins = Vec::new();
+    for conn_index in 0..USERS / PIPELINE {
+        let uids: Vec<u32> = (0..PIPELINE).map(|i| conn_index * PIPELINE + i).collect();
+        let expected: Vec<Vec<u8>> = uids.iter().map(|&u| expected[u as usize].clone()).collect();
+        joins.push(thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            let mut wire = Vec::new();
+            for &u in &uids {
+                wire.extend_from_slice(
+                    format!("GET /online/?uid={u} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+                );
+            }
+            stream.write_all(&wire).expect("pipeline requests");
+
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 16 * 1024];
+            let mut received = 0usize;
+            while received < uids.len() {
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-pipeline");
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some((response, consumed)) =
+                    hyrec_http::Response::try_parse(&buf).expect("parse")
+                {
+                    buf.drain(..consumed);
+                    assert_eq!(response.status, 200);
+                    assert_eq!(
+                        response.body, expected[received],
+                        "pipelined body diverged for uid {} (position {received})",
+                        uids[received]
+                    );
+                    received += 1;
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.batched_requests(), u64::from(USERS));
+    assert_eq!(stats.connections(), u64::from(USERS / PIPELINE));
+    assert_eq!(
+        stats.shards().iter().map(|s| s.connections()).sum::<u64>(),
+        stats.connections()
     );
     handle.stop();
 }

@@ -5,6 +5,8 @@
 use hyrec_http::{HttpClient, ReactorServer, Request, Response, Router};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn ping_router() -> Router {
@@ -251,6 +253,79 @@ fn vanished_reader_with_staged_bytes_is_reaped() {
         drained.len()
     );
     handle.stop();
+}
+
+#[test]
+fn stop_racing_a_connect_fails_fast_instead_of_hanging() {
+    // Regression: `ReactorHandle::stop()` used to deregister the listener
+    // from epoll but keep the fd open for the whole drain, so a connect
+    // racing the stop was *accepted by the kernel* into a queue nobody
+    // would ever serve — the client hung until its own timeout. The fix
+    // closes the listener the moment draining starts: racing connects are
+    // refused (or reset) promptly, while in-flight work still completes.
+    let mut router = Router::new();
+    router.get("/ping", |_| Response::ok("text/plain", b"pong".to_vec()));
+    router.get("/slow", |_| {
+        std::thread::sleep(Duration::from_millis(1200));
+        Response::ok("text/plain", b"slow".to_vec())
+    });
+    let server = ReactorServer::bind("127.0.0.1:0", 1).unwrap();
+    let addr = server.local_addr();
+    let handle = server.serve(router);
+
+    // Occupy the (only) worker so the drain has something to wait for.
+    let slow_client = std::thread::spawn(move || {
+        let client = HttpClient::new(addr).with_timeout(Duration::from_secs(10));
+        let response = client.get("/slow").unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"slow");
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    let stopped = Arc::new(AtomicBool::new(false));
+    let stopper = {
+        let stopped = Arc::clone(&stopped);
+        std::thread::spawn(move || {
+            handle.stop();
+            stopped.store(true, Ordering::SeqCst);
+        })
+    };
+    // Give the drain a moment to begin (the slow handler pins it open for
+    // roughly another 900 ms).
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        !stopped.load(Ordering::SeqCst),
+        "drain finished early; the race window never existed"
+    );
+
+    // A connect racing the drain must resolve promptly — refused outright,
+    // or (if it slipped into the queue before the close) reset on first
+    // read — never parked until a client-side timeout.
+    let started = Instant::now();
+    match TcpStream::connect(addr) {
+        Err(_) => {} // refused: the listener is really gone
+        Ok(mut stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let _ = stream.write_all(b"GET /ping HTTP/1.1\r\nhost: x\r\n\r\n");
+            let mut chunk = [0u8; 64];
+            let n = stream.read(&mut chunk).unwrap_or(0);
+            assert_eq!(n, 0, "a draining server served a racing connection");
+        }
+    }
+    let observed = started.elapsed();
+    assert!(
+        observed < Duration::from_millis(500),
+        "racing connect took {observed:?} to resolve (listener left open during drain?)"
+    );
+    assert!(
+        !stopped.load(Ordering::SeqCst),
+        "stop() returned before the in-flight request drained"
+    );
+
+    stopper.join().unwrap();
+    slow_client.join().unwrap();
 }
 
 #[test]

@@ -2,10 +2,16 @@
 //! invariant the reactor's rolling read buffer depends on: however the
 //! network fragments a byte stream of back-to-back requests,
 //! `Request::try_parse` yields exactly those requests, in order, with no
-//! bytes lost or invented.
+//! bytes lost or invented — plus the end-to-end sharded form: pipelined
+//! bursts split across a live multi-reactor server never reorder within a
+//! connection.
 
-use hyrec_http::Request;
+use hyrec_http::{BatchPolicy, ReactorServer, Request, Response, Router};
 use proptest::prelude::*;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
 
 /// A generated request: method selector, path segment, query id, body.
 type Spec = (bool, u8, u16, Vec<u8>);
@@ -61,6 +67,95 @@ fn frame_chunked(stream: &[u8], cuts: &[usize]) -> (Vec<Request>, usize) {
     (parsed, consumed_total)
 }
 
+/// One 4-shard reactor shared by every proptest case (spinning a server
+/// per case would dominate the run). Never stopped: the handle lives for
+/// the test process, and process exit tears the threads down.
+fn sharded_echo_addr() -> SocketAddr {
+    static SERVER: OnceLock<(hyrec_http::reactor::ReactorHandle, SocketAddr)> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let mut router = Router::new();
+            // A coalescable route: bursts may gather across shards, so the
+            // reorder queue and cross-shard completion fan-out are on the
+            // hot path of this property.
+            router.route(
+                "GET",
+                "/b/",
+                BatchPolicy {
+                    max_batch: 8,
+                    gather_window: Duration::from_millis(1),
+                },
+                |requests: &[Request], out: &mut Vec<Response>| {
+                    out.extend(requests.iter().map(|r| {
+                        let qid = r.query_param("qid").unwrap_or("?");
+                        Response::ok("text/plain", format!("q{qid}").into_bytes())
+                    }));
+                },
+            );
+            // And a scalar route for mixed-traffic bursts.
+            router.get("/s/", |r: &Request| {
+                let qid = r.query_param("qid").unwrap_or("?");
+                Response::ok("text/plain", format!("q{qid}").into_bytes())
+            });
+            let server =
+                ReactorServer::bind_sharded("127.0.0.1:0", 4, 1).expect("bind sharded reactor");
+            let addr = server.local_addr();
+            (server.serve(router), addr)
+        })
+        .1
+}
+
+/// Pipelines `qids` on one fresh connection, split into chunks at the
+/// given raw cut points, then asserts the responses come back complete and
+/// strictly in request order. Plain asserts (not `prop_assert`): this runs
+/// on spawned threads, and a panic fails the owning case just the same.
+fn drive_pipelined_connection(addr: SocketAddr, qids: &[u16], raw_cuts: &[u16], batched: bool) {
+    let path = if batched { "/b/" } else { "/s/" };
+    let mut wire = Vec::new();
+    for qid in qids {
+        wire.extend_from_slice(
+            format!("GET {path}?qid={qid} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes(),
+        );
+    }
+    let mut cuts: Vec<usize> = raw_cuts
+        .iter()
+        .map(|&c| c as usize % (wire.len() + 1))
+        .collect();
+    cuts.push(wire.len());
+    cuts.sort_unstable();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut offset = 0usize;
+    for cut in cuts {
+        if cut > offset {
+            stream.write_all(&wire[offset..cut]).expect("write chunk");
+            offset = cut;
+        }
+    }
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut received = 0usize;
+    while received < qids.len() {
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed mid-pipeline");
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some((response, consumed)) = Response::try_parse(&buf).expect("parse") {
+            buf.drain(..consumed);
+            assert_eq!(response.status, 200);
+            assert_eq!(
+                response.body,
+                format!("q{}", qids[received]).into_bytes(),
+                "response {received} out of order for burst {qids:?}"
+            );
+            received += 1;
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -102,6 +197,38 @@ proptest! {
                 prop_assert!(request.body.is_empty());
             }
             prop_assert!(request.wants_keep_alive());
+        }
+    }
+
+    // Pipelined bursts landing on a live 4-shard reactor — several
+    // connections at once (spread across event loops by the accept
+    // sharding), each burst split at arbitrary byte boundaries, mixing
+    // batched and scalar routes — must never reorder responses *within* a
+    // connection: per-connection sequence numbers and the reorder queue
+    // hold regardless of which shard a connection landed on or which
+    // shard flushed the gather.
+    #[test]
+    fn sharded_pipelined_bursts_never_reorder_within_a_connection(
+        conns in proptest::collection::vec(
+            (
+                proptest::collection::vec(any::<u16>(), 1..6usize),
+                proptest::collection::vec(any::<u16>(), 0..6usize),
+                any::<bool>(),
+            ),
+            2..5usize,
+        ),
+    ) {
+        let addr = sharded_echo_addr();
+        let joins: Vec<_> = conns
+            .into_iter()
+            .map(|(qids, raw_cuts, batched)| {
+                std::thread::spawn(move || {
+                    drive_pipelined_connection(addr, &qids, &raw_cuts, batched);
+                })
+            })
+            .collect();
+        for join in joins {
+            join.join().expect("pipelined connection thread panicked");
         }
     }
 

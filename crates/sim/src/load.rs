@@ -412,12 +412,27 @@ pub fn spawn_reactor_server(
     workers: usize,
     policy: BatchPolicy,
 ) -> (hyrec_http::reactor::ReactorHandle, std::net::SocketAddr) {
+    spawn_sharded_reactor_server(population, 1, workers, policy)
+}
+
+/// Spins up the reactor front-end sharded across `reactors` event loops
+/// (`SO_REUSEPORT` kernel accept sharding when available, hand-off
+/// otherwise) over a shared pool of `reactors × workers_per_reactor`
+/// workers — the multi-core scaling configuration.
+#[must_use]
+pub fn spawn_sharded_reactor_server(
+    population: &Population,
+    reactors: usize,
+    workers_per_reactor: usize,
+    policy: BatchPolicy,
+) -> (hyrec_http::reactor::ReactorHandle, std::net::SocketAddr) {
     let router = api::hyrec_router_with(
         Arc::clone(&population.server),
         Arc::clone(&population.encoder),
         policy,
     );
-    let server = ReactorServer::bind("127.0.0.1:0", workers).expect("bind reactor server");
+    let server = ReactorServer::bind_sharded("127.0.0.1:0", reactors, workers_per_reactor)
+        .expect("bind sharded reactor server");
     let addr = server.local_addr();
     let handle = server.serve(router);
     (handle, addr)
@@ -701,6 +716,29 @@ mod tests {
         let stats = closed_loop(addr, "/online/", 40, 4, 3);
         assert_eq!(stats.samples, 12);
         assert_eq!(handle.request_count(), 32 + 12);
+        handle.stop();
+    }
+
+    #[test]
+    fn sharded_reactor_front_end_serves_and_aggregates_stats() {
+        let population = build_population(40, 10, 3, 6);
+        let (handle, addr) =
+            spawn_sharded_reactor_server(&population, 2, 1, BatchPolicy::default());
+        let throughput =
+            measure_throughput_with(addr, "/online/", 40, 8, 4, LoadOptions::persistent(0));
+        assert_eq!(throughput.ok, 32);
+        assert_eq!(throughput.errors, 0);
+        let stats = handle.stats();
+        assert_eq!(stats.shards().len(), 2);
+        assert_eq!(
+            stats
+                .shards()
+                .iter()
+                .map(hyrec_http::reactor::ShardStats::requests)
+                .sum::<u64>(),
+            stats.requests()
+        );
+        assert_eq!(stats.requests(), 32);
         handle.stop();
     }
 

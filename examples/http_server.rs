@@ -17,12 +17,19 @@ use std::sync::Arc;
 
 fn main() {
     let hyrec = Arc::new(HyRecServer::builder().k(5).r(5).seed(11).build());
-    // The epoll reactor front-end: concurrent /online/ and /rate/ traffic
-    // is coalesced onto the batched pipeline (build_jobs / record_many).
-    let server = ReactorServer::bind("127.0.0.1:0", 4).expect("bind");
+    // The sharded epoll reactor front-end: two event loops (SO_REUSEPORT
+    // kernel accept sharding where available, accept hand-off otherwise)
+    // over a shared worker pool; concurrent /online/ and /rate/ traffic
+    // is coalesced process-wide onto the batched pipeline
+    // (build_jobs / record_many).
+    let server = ReactorServer::bind_sharded("127.0.0.1:0", 2, 2).expect("bind");
     let addr = server.local_addr();
+    println!(
+        "== HyRec web API: {} reactor shards ({:?} accept sharding) on http://{addr}",
+        server.reactors(),
+        server.accept_sharding(),
+    );
     let handle = server.serve(api::hyrec_router(Arc::clone(&hyrec)));
-    println!("== HyRec web API (reactor front-end) listening on http://{addr}");
 
     // --- Users rate items through the web API.
     let client = HttpClient::new(addr);
@@ -82,8 +89,14 @@ fn main() {
         hyrec.knn_of(UserId(0)).map_or(0, |h| h.len())
     );
 
+    let shard_requests: Vec<u64> = handle
+        .stats()
+        .shards()
+        .iter()
+        .map(|shard| shard.requests())
+        .collect();
     println!(
-        "== {} requests served ({} coalesced into {} batches)",
+        "== {} requests served ({} coalesced into {} batches; per shard: {shard_requests:?})",
         handle.request_count(),
         handle.stats().batched_requests(),
         handle.stats().batches()
