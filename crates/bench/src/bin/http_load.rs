@@ -21,6 +21,11 @@
 //!   event loops (default 4) over the same total worker count
 //!   (`BENCH_sharded.json`). On a single-core box the two should tie —
 //!   the point of recording it is the multi-core rerun.
+//! * `http_load bench-churn` — the job-lifecycle experiment: the full
+//!   browser loop (fetch a job, abandon it with `--abandon` probability,
+//!   otherwise post the completion) against the lease-free and the leased
+//!   (scheduled) reactor front-end (`BENCH_sched.json`). `--smoke`
+//!   shrinks it to a CI gate asserting zero hard errors.
 //! * `http_load smoke` — CI gate: fires a few hundred concurrent requests
 //!   at the reactor front-end, asserts every response is 200 and that the
 //!   server drains cleanly on shutdown.
@@ -39,10 +44,11 @@
 //! ```
 
 use hyrec_http::{BatchPolicy, HttpServer};
+use hyrec_sched::SchedConfig;
 use hyrec_sim::load::{
-    build_population, measure_throughput_with, seed_frontend_router, spawn_benchmark_server,
-    spawn_reactor_server, spawn_sharded_reactor_server, warm_cache, LoadOptions, Population,
-    Throughput,
+    build_population, measure_churn_loop, measure_throughput_with, seed_frontend_router,
+    spawn_benchmark_server, spawn_reactor_server, spawn_scheduled_reactor_server,
+    spawn_sharded_reactor_server, warm_cache, ChurnLoad, LoadOptions, Population, Throughput,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,6 +75,11 @@ struct Args {
     keep_alive: bool,
     requests_per_conn: usize,
     reactors: Option<usize>,
+    /// Base browser-abandonment probability for `bench-churn`.
+    abandon: f64,
+    /// Shrinks `bench-churn` to a CI-sized smoke run that asserts zero
+    /// errors instead of recording a benchmark series.
+    smoke: bool,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +88,8 @@ fn parse_args() -> Args {
         keep_alive: false,
         requests_per_conn: 0,
         reactors: None,
+        abandon: 0.3,
+        smoke: false,
     };
     let mut raw = std::env::args().skip(1);
     let mut mode_seen = false;
@@ -96,6 +109,18 @@ fn parse_args() -> Args {
                 // rotations.
                 args.keep_alive = true;
             }
+            "--abandon" => {
+                let value = raw
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| {
+                        eprintln!("--abandon needs a probability in [0, 1]");
+                        std::process::exit(2);
+                    });
+                args.abandon = value;
+            }
+            "--smoke" => args.smoke = true,
             "--reactors" => {
                 let value = raw
                     .next()
@@ -136,11 +161,12 @@ fn main() {
         "bench" => bench(),
         "bench-keepalive" => bench_keepalive(args.requests_per_conn),
         "bench-sharded" => bench_sharded(&args),
+        "bench-churn" => bench_churn(&args),
         "smoke" => smoke(&args),
         other => {
             eprintln!(
                 "unknown mode `{other}` (expected `bench`, `bench-keepalive`, \
-                 `bench-sharded` or `smoke`)"
+                 `bench-sharded`, `bench-churn` or `smoke`)"
             );
             std::process::exit(2);
         }
@@ -355,6 +381,146 @@ fn bench_sharded(args: &Args) {
         );
         emit(&format!("reactor-x{reactors}"), clients, &result);
         handle.stop();
+    }
+}
+
+fn emit_churn(id: &str, clients: usize, abandon: f64, result: &ChurnLoad) {
+    println!(
+        "{{\"group\":\"http-churn\",\"id\":\"{id}/{clients}\",\"clients\":{clients},\
+         \"abandon\":{abandon},\"fetched\":{},\"completed\":{},\"superseded\":{},\
+         \"abandoned\":{},\"errors\":{},\"elapsed_ms\":{:.1},\"rps\":{:.1}}}",
+        result.fetched,
+        result.completed,
+        result.superseded,
+        result.abandoned,
+        result.errors,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.rps,
+    );
+    eprintln!(
+        "  {id:>20} @ {clients:>4} clients: {:>8.1} fetch/s ({} fetched, {} completed, \
+         {} superseded, {} abandoned, {} err)",
+        result.rps,
+        result.fetched,
+        result.completed,
+        result.superseded,
+        result.abandoned,
+        result.errors,
+    );
+}
+
+/// Leases on vs leases off under the full browser loop (fetch → maybe
+/// abandon → post completion) — the experiment behind `BENCH_sched.json`.
+/// Both series run the *same* client behaviour against the same
+/// population; the only difference is whether the server routes jobs
+/// through the job-lifecycle scheduler. In `--smoke` mode the run shrinks
+/// to CI size and asserts zero hard errors plus live churn recovery.
+fn bench_churn(args: &Args) {
+    let abandon = args.abandon;
+    // Each series gets its own identically-seeded, identically-warmed
+    // population: the plain run mutates KNN tables and the fragment cache,
+    // so sharing one server would hand the second series warm state and
+    // bias the overhead comparison.
+    let build_series_population = || {
+        if args.smoke {
+            let population = build_population(200, 20, 5, 7);
+            warm_cache(&population, 200);
+            population
+        } else {
+            bench_population()
+        }
+    };
+    let (clients_series, per_client) = if args.smoke {
+        (vec![32usize], 6)
+    } else {
+        (vec![256usize], 16)
+    };
+    // Lease timeout sized to the environment: with hundreds of closed-loop
+    // clients time-slicing one core, p95 completion latency runs seconds,
+    // so a too-tight deadline would expire *in-flight* work and measure
+    // recovery compute instead of lease bookkeeping. 10 s stays far below
+    // the 60 s client timeout while keeping honest abandonment (which
+    // never posts) recoverable right after the run.
+    let sched_config = SchedConfig {
+        lease_timeout: 10_000, // ms
+        max_reissues: 2,
+        ..SchedConfig::default()
+    };
+    for clients in clients_series {
+        eprintln!(
+            "== {clients} concurrent browsers ({per_client} interactions each, \
+             {:.0}% abandonment)",
+            abandon * 100.0
+        );
+
+        // Lease-free baseline: the plain coalescing router ignores lease
+        // fields and applies whatever comes back.
+        let population = build_series_population();
+        let (handle, addr) = spawn_reactor_server(&population, REACTOR_WORKERS, bench_policy());
+        let plain = measure_churn_loop(
+            addr,
+            population.users.len(),
+            clients,
+            per_client,
+            abandon,
+            42,
+        );
+        emit_churn("reactor-plain", clients, abandon, &plain);
+        handle.stop();
+
+        // Leases on: every job leased, completions validated, sweeper
+        // recovering abandoned work in the background — over a fresh twin
+        // population.
+        let population = build_series_population();
+        let (handle, addr, scheduled, sweeper) = spawn_scheduled_reactor_server(
+            &population,
+            REACTOR_WORKERS,
+            bench_policy(),
+            sched_config,
+        );
+        let leased = measure_churn_loop(
+            addr,
+            population.users.len(),
+            clients,
+            per_client,
+            abandon,
+            42,
+        );
+        let stats = scheduled.scheduler().stats().snapshot();
+        eprintln!(
+            "  {:>20}   sched: {} issued, {} completed, {} expired, {} reissued, \
+             {} fallbacks, {} rejected",
+            "",
+            stats.issued,
+            stats.completed,
+            stats.expired,
+            stats.reissued,
+            stats.fallbacks,
+            stats.rejected_total(),
+        );
+        emit_churn("reactor-leased", clients, abandon, &leased);
+        sweeper.stop();
+        handle.stop();
+
+        let overhead = (plain.rps - leased.rps) / plain.rps.max(1e-9) * 100.0;
+        eprintln!("  lease overhead at {clients} clients: {overhead:+.1}% fetch throughput");
+
+        if args.smoke {
+            assert_eq!(plain.errors, 0, "lease-free churn run had hard errors");
+            assert_eq!(leased.errors, 0, "leased churn run had hard errors");
+            assert_eq!(
+                leased.fetched,
+                clients * per_client,
+                "every fetch must be served"
+            );
+            if abandon > 0.0 {
+                assert!(leased.abandoned > 0, "smoke churn never abandoned a job");
+            }
+            eprintln!(
+                "churn smoke ok: {} + {} interactions, zero errors",
+                plain.fetched, leased.fetched
+            );
+        }
     }
 }
 

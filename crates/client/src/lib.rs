@@ -33,6 +33,8 @@
 //!     uid: UserId(1),
 //!     k: 2,
 //!     r: 3,
+//!     lease: 0,
+//!     epoch: 0,
 //!     profile: Profile::from_liked([1, 2]).into(),
 //!     candidates,
 //! };

@@ -95,7 +95,10 @@ impl Widget {
         );
         WidgetOutput {
             recommendations,
-            update: KnnUpdate::from_neighborhood(job.uid, &hood),
+            // Echo the lease credentials: the server's scheduler only
+            // applies completions presenting the live lease at the
+            // current epoch.
+            update: KnnUpdate::from_neighborhood(job.uid, &hood).with_lease(job.lease, job.epoch),
         }
     }
 
@@ -169,6 +172,8 @@ mod tests {
             uid: UserId(1),
             k: 2,
             r: 2,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked([1u32, 2]).into(),
             candidates,
         }

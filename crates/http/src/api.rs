@@ -24,11 +24,13 @@
 //! same routes run with batches of one, and every batched response is
 //! byte-identical to what the sequential scalar path produces.
 
+use crate::reactor::ReactorStats;
 use crate::request::Request;
 use crate::response::Response;
 use crate::router::{BatchPolicy, Router};
 use hyrec_core::{ItemId, Neighbor, UserId, Vote};
-use hyrec_server::{HyRecServer, JobEncoder};
+use hyrec_sched::RejectReason;
+use hyrec_server::{HyRecServer, JobEncoder, ScheduledServer};
 use hyrec_wire::KnnUpdate;
 use std::sync::Arc;
 
@@ -79,12 +81,14 @@ pub fn hyrec_router_with(
 
     // GET /neighbors/?uid=N&id0=..&sim0=.. — "Update KNN selection".
     let neighbors_server = Arc::clone(&server);
-    router.get("/neighbors/", move |req| match parse_knn_query(req) {
-        Ok(update) => {
-            neighbors_server.apply_update(&update);
-            Response::ok("application/json", b"{\"ok\":true}".to_vec())
+    router.get("/neighbors/", move |req| {
+        match parse_knn_query(req).and_then(|update| validate_update(&update).map(|()| update)) {
+            Ok(update) => {
+                neighbors_server.apply_update(&update);
+                Response::ok("application/json", b"{\"ok\":true}".to_vec())
+            }
+            Err(reason) => Response::bad_request(&reason),
         }
-        Err(reason) => Response::bad_request(&reason),
     });
 
     // POST /neighbors/ with a gzipped KnnUpdate body (our wire form).
@@ -96,17 +100,18 @@ pub fn hyrec_router_with(
         policy,
         move |requests: &[Request], out: &mut Vec<Response>| {
             let mut updates = Vec::with_capacity(requests.len());
-            out.extend(
-                requests
-                    .iter()
-                    .map(|req| match KnnUpdate::decode(&req.body) {
-                        Ok(update) => {
-                            updates.push(update);
-                            Response::ok("application/json", b"{\"ok\":true}".to_vec())
-                        }
-                        Err(err) => Response::bad_request(&err.to_string()),
-                    }),
-            );
+            out.extend(requests.iter().map(|req| {
+                match KnnUpdate::decode(&req.body)
+                    .map_err(|err| err.to_string())
+                    .and_then(|update| validate_update(&update).map(|()| update))
+                {
+                    Ok(update) => {
+                        updates.push(update);
+                        Response::ok("application/json", b"{\"ok\":true}".to_vec())
+                    }
+                    Err(reason) => Response::bad_request(&reason),
+                }
+            }));
             post_server.apply_updates(&updates);
         },
     );
@@ -142,12 +147,175 @@ pub fn hyrec_router_with(
     router
 }
 
-/// Parses the `/rate/` query triple.
+/// Builds the *scheduled* HyRec API router: the same Table 1 surface, but
+/// with every job issue and update apply routed through the job-lifecycle
+/// scheduler of [`ScheduledServer`].
+///
+/// Differences from [`hyrec_router_with`]:
+///
+/// * `GET /online/` serves the **scheduler's pick** — the churn backlog or
+///   the staleness queue may override the requested uid — and every job
+///   carries `lease`/`epoch` credentials the widget must echo.
+/// * Both `/neighbors/` forms present those credentials (query params
+///   `lease=&epoch=` on GET, message fields on POST). Malformed payloads
+///   are a 400 exactly as in the plain router; a well-formed completion
+///   whose lease is dead (expired, superseded, already consumed, wrong
+///   user, fabricated neighbour) is a 409 naming the reason, and is never
+///   applied.
+/// * `GET /stats/` exposes the scheduler's [`hyrec_sched::SchedStats`]
+///   (and, when a handle is supplied, the reactor's [`ReactorStats`]).
+///
+/// The lease sweeper is *not* spawned here: callers own its cadence via
+/// [`ScheduledServer::spawn_sweeper`] (wall clock) or explicit
+/// [`ScheduledServer::sweep_and_recover`] calls (logical clock).
+#[must_use]
+pub fn hyrec_scheduled_router(
+    scheduled: Arc<ScheduledServer>,
+    encoder: Arc<JobEncoder>,
+    policy: BatchPolicy,
+    reactor_stats: Option<Arc<ReactorStats>>,
+) -> Router {
+    let mut router = Router::new();
+
+    // GET /online/?uid=N — leased job issue, coalesced through one
+    // issue_jobs + encode_jobs round per gathered batch.
+    let online = Arc::clone(&scheduled);
+    let online_encoder = Arc::clone(&encoder);
+    router.route(
+        "GET",
+        "/online/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let parsed: Vec<Result<UserId, String>> = requests.iter().map(parse_uid).collect();
+            let uids: Vec<UserId> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().copied())
+                .collect();
+            let jobs = online.issue_jobs(&uids, online.now_ms());
+            let mut bodies = online_encoder.encode_jobs(&jobs).into_iter();
+            out.extend(parsed.into_iter().map(|p| match p {
+                Ok(_) => Response::ok_pregzipped_json(
+                    bodies.next().expect("one encoded body per valid uid"),
+                ),
+                Err(reason) => Response::bad_request(&reason),
+            }));
+        },
+    );
+
+    // GET /neighbors/?uid=&lease=&epoch=&id0=&sim0=… — scalar completion
+    // (the Table 1 query form). Payload validation happens inside the
+    // scheduler with the *configured* similarity tolerance, so the HTTP
+    // layer only rejects structurally malformed queries here.
+    let neighbors = Arc::clone(&scheduled);
+    router.get("/neighbors/", move |req| match parse_knn_query(req) {
+        Ok(update) => {
+            let outcome = neighbors
+                .complete_updates(std::slice::from_ref(&update), neighbors.now_ms())
+                .pop()
+                .expect("one outcome per update");
+            completion_response(outcome)
+        }
+        Err(reason) => Response::bad_request(&reason),
+    });
+
+    // POST /neighbors/ — batched completions; decode errors are a 400,
+    // everything else goes through one batched lease-validation + apply
+    // pass (the scheduler's own payload validation, configured tolerance).
+    let post = Arc::clone(&scheduled);
+    router.route(
+        "POST",
+        "/neighbors/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let parsed: Vec<Result<KnnUpdate, String>> = requests
+                .iter()
+                .map(|req| KnnUpdate::decode(&req.body).map_err(|err| err.to_string()))
+                .collect();
+            let updates: Vec<KnnUpdate> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().cloned())
+                .collect();
+            let mut outcomes = post.complete_updates(&updates, post.now_ms()).into_iter();
+            out.extend(parsed.into_iter().map(|p| match p {
+                Ok(_) => completion_response(outcomes.next().expect("one outcome per update")),
+                Err(reason) => Response::bad_request(&reason),
+            }));
+        },
+    );
+
+    // GET /rate/ — strict votes, staleness bumps coalesced with the
+    // profile writes.
+    let rate = Arc::clone(&scheduled);
+    router.route(
+        "GET",
+        "/rate/",
+        policy,
+        move |requests: &[Request], out: &mut Vec<Response>| {
+            let parsed: Vec<Result<(UserId, ItemId, Vote), String>> =
+                requests.iter().map(parse_rate).collect();
+            let votes: Vec<(UserId, ItemId, Vote)> = parsed
+                .iter()
+                .filter_map(|p| p.as_ref().ok().copied())
+                .collect();
+            let mut changed = rate.record_many(&votes, rate.now_ms()).into_iter();
+            out.extend(parsed.into_iter().map(|p| match p {
+                Ok(_) => {
+                    let flag = changed.next().expect("one change flag per valid vote");
+                    Response::ok(
+                        "application/json",
+                        format!("{{\"ok\":true,\"changed\":{flag}}}").into_bytes(),
+                    )
+                }
+                Err(reason) => Response::bad_request(&reason),
+            }));
+        },
+    );
+
+    // GET /stats/ — scheduler + (optional) reactor observability.
+    let stats_server = Arc::clone(&scheduled);
+    router.get("/stats/", move |_req| {
+        let sched = stats_server.scheduler().stats().snapshot().to_json();
+        let body = match &reactor_stats {
+            Some(reactor) => format!("{{\"sched\":{sched},\"reactor\":{}}}", reactor.to_json()),
+            None => format!("{{\"sched\":{sched}}}"),
+        };
+        Response::ok("application/json", body.into_bytes())
+    });
+
+    router
+}
+
+/// Maps a lease-validation outcome onto the wire: applied completions ack
+/// like the plain router; malformed payloads (NaN / out-of-range
+/// similarities) are a 400 exactly as on the plain router, and dead-lease
+/// conflicts are a 409 — both naming the (counted) reason.
+fn completion_response(outcome: Result<(), RejectReason>) -> Response {
+    match outcome {
+        Ok(()) => Response::ok("application/json", b"{\"ok\":true}".to_vec()),
+        Err(reason) => {
+            let status = match reason {
+                RejectReason::NanSimilarity | RejectReason::OutOfRangeSimilarity => 400,
+                _ => 409,
+            };
+            let mut response = Response::ok(
+                "application/json",
+                format!("{{\"ok\":false,\"reject\":\"{reason}\"}}").into_bytes(),
+            );
+            response.status = status;
+            response
+        }
+    }
+}
+
+/// Parses the `/rate/` query triple. Strict: `like` must be exactly `0`
+/// or `1` (no coercion of `01`, `true`, `2`, …) and ids must be plain
+/// decimal — anything else is a 400, on the scalar and the batched path
+/// alike.
 fn parse_rate(req: &Request) -> Result<(UserId, ItemId, Vote), String> {
     let uid = parse_uid(req)?;
     let item = req
         .query_param("item")
-        .and_then(|v| v.parse::<u32>().ok())
+        .and_then(parse_u32_strict)
         .map(ItemId)
         .ok_or_else(|| "missing or invalid `item`".to_owned())?;
     let vote = match req.query_param("like") {
@@ -160,22 +328,47 @@ fn parse_rate(req: &Request) -> Result<(UserId, ItemId, Vote), String> {
 
 fn parse_uid(req: &Request) -> Result<UserId, String> {
     req.query_param("uid")
-        .and_then(|v| v.parse::<u32>().ok())
+        .and_then(parse_u32_strict)
         .map(UserId)
         .ok_or_else(|| "missing or invalid `uid`".to_owned())
 }
 
-/// Parses the Table 1 query form: `id0=..&sim0=..&id1=..&sim1=..`.
+/// Parses the Table 1 query form: `id0=..&sim0=..&id1=..&sim1=..`, plus
+/// the scheduler's optional `lease=..&epoch=..` credentials.
+///
+/// Structural strictness shared by both routers: malformed id/sim pairs —
+/// more sims than ids, or `idN`/`simN` keys outside the contiguous run
+/// from 0 (a gap would silently drop the keys after it) — are an error,
+/// never silently applied. Similarity *range* validation lives in
+/// [`validate_update`] (plain router) or in the scheduler's configured
+/// check (scheduled router).
 fn parse_knn_query(req: &Request) -> Result<KnnUpdate, String> {
     let uid = parse_uid(req)?;
+    let lease = parse_optional_u64(req, "lease")?;
+    let epoch = parse_optional_u64(req, "epoch")?;
     let ids = req.indexed_params("id");
     let sims = req.indexed_params("sim");
+    if sims.len() > ids.len() {
+        return Err(format!(
+            "{} sim values for {} ids (malformed id/sim pairs)",
+            sims.len(),
+            ids.len()
+        ));
+    }
+    for (prefix, run) in [("id", ids.len()), ("sim", sims.len())] {
+        let total = indexed_key_count(req, prefix);
+        if total != run {
+            return Err(format!(
+                "{total} {prefix}N parameters but the contiguous run from \
+                 {prefix}0 is {run} (gapped id/sim pairs)"
+            ));
+        }
+    }
     let mut neighbors = Vec::with_capacity(ids.len());
     for (index, id) in ids.iter().enumerate() {
-        let user = id
-            .parse::<u32>()
+        let user = parse_u32_strict(id)
             .map(UserId)
-            .map_err(|_| format!("invalid id{index}"))?;
+            .ok_or_else(|| format!("invalid id{index}"))?;
         // Similarities are optional in the paper's GET form; default 0.
         let similarity = match sims.get(index) {
             Some(s) => s
@@ -185,7 +378,62 @@ fn parse_knn_query(req: &Request) -> Result<KnnUpdate, String> {
         };
         neighbors.push(Neighbor { user, similarity });
     }
-    Ok(KnnUpdate { uid, neighbors })
+    Ok(KnnUpdate {
+        uid,
+        lease,
+        epoch,
+        neighbors,
+    })
+}
+
+/// How many query keys have the shape `<prefix><digits>` — compared with
+/// the contiguous `indexed_params` run to detect gapped pairs.
+fn indexed_key_count(req: &Request, prefix: &str) -> usize {
+    req.query
+        .iter()
+        .filter(|(key, _)| {
+            key.strip_prefix(prefix)
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        })
+        .count()
+}
+
+/// Payload validation for the *plain* router's `/neighbors/` forms: every
+/// reported similarity must be a finite number in `[0, 1]`, with the same
+/// default tolerance the scheduler's own validation uses (single
+/// definition in `hyrec-sched`; the scheduled router validates inside the
+/// scheduler so a configured tolerance applies there).
+fn validate_update(update: &KnnUpdate) -> Result<(), String> {
+    for (index, neighbor) in update.neighbors.iter().enumerate() {
+        let sim = neighbor.similarity;
+        if sim.is_nan() {
+            return Err(format!("sim{index} is NaN"));
+        }
+        if !(0.0..=1.0 + hyrec_sched::DEFAULT_SIMILARITY_TOLERANCE).contains(&sim) {
+            return Err(format!("sim{index} out of range [0, 1]: {sim}"));
+        }
+    }
+    Ok(())
+}
+
+/// Strict `u32` parse: ASCII digits only (no sign, no whitespace — the
+/// lenient `str::parse` accepts `+7`).
+fn parse_u32_strict(text: &str) -> Option<u32> {
+    if text.is_empty() || !text.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    text.parse::<u32>().ok()
+}
+
+/// Optional strict `u64` query parameter; absent ⇒ `0`.
+fn parse_optional_u64(req: &Request, key: &str) -> Result<u64, String> {
+    match req.query_param(key) {
+        None => Ok(0),
+        Some(text) if !text.is_empty() && text.bytes().all(|b| b.is_ascii_digit()) => {
+            text.parse::<u64>().map_err(|_| format!("invalid `{key}`"))
+        }
+        Some(_) => Err(format!("invalid `{key}`")),
+    }
 }
 
 #[cfg(test)]

@@ -200,6 +200,32 @@ impl ReactorStats {
     pub fn shards(&self) -> &[ShardStats] {
         &self.shards
     }
+
+    /// Serializes the counters as a compact JSON object (the reactor half
+    /// of the HyRec `/stats/` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"requests\":{},\"connections\":{}}}",
+                    s.requests(),
+                    s.connections()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"requests\":{},\"connections\":{},\"batches\":{},\
+             \"batched_requests\":{},\"shards\":[{}]}}",
+            self.requests(),
+            self.connections(),
+            self.batches(),
+            self.batched_requests(),
+            shards.join(",")
+        )
+    }
 }
 
 /// An epoll-based nonblocking HTTP/1.1 server with persistent (keep-alive,
@@ -217,6 +243,9 @@ pub struct ReactorServer {
     local_addr: SocketAddr,
     idle_timeout: Duration,
     max_requests_per_conn: u64,
+    /// Created at bind so callers can share it into routes; `serve` moves
+    /// it into [`Shared`].
+    stats: Arc<ReactorStats>,
 }
 
 impl std::fmt::Debug for ReactorServer {
@@ -390,7 +419,16 @@ impl ReactorServer {
             local_addr,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
             max_requests_per_conn: u64::MAX,
+            stats: Arc::new(ReactorStats::with_shards(reactors)),
         })
+    }
+
+    /// A shared handle to this server's statistics, available *before*
+    /// [`Self::serve`] — so observability routes (e.g. the HyRec `/stats/`
+    /// endpoint) can be registered on the router that the server will run.
+    #[must_use]
+    pub fn stats_handle(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Sets how long a connection with nothing in flight may sit quiet
@@ -445,7 +483,7 @@ impl ReactorServer {
             router,
             pool: ThreadPool::new(self.workers),
             gather,
-            stats: ReactorStats::with_shards(self.reactors),
+            stats: Arc::clone(&self.stats),
             shutdown: AtomicBool::new(false),
             in_flight: Arc::new(AtomicUsize::new(0)),
             mailboxes,
@@ -642,7 +680,7 @@ struct Shared {
     router: Router,
     pool: ThreadPool,
     gather: Gather<Dest>,
-    stats: ReactorStats,
+    stats: Arc<ReactorStats>,
     shutdown: AtomicBool,
     /// Worker-pool jobs in flight. `Arc` so worker closures can decrement
     /// without holding an `Arc<Shared>` (which would cycle through the

@@ -1,0 +1,234 @@
+//! Scheduler observability: lifecycle and per-reason reject counters.
+
+use crate::scheduler::RejectReason;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters tracking the job lifecycle and every reject reason.
+///
+/// Shared by reference from the scheduler; cheap to read at any time (the
+/// `/stats/` route serializes a [`SchedStatsSnapshot`] per request).
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    issued: AtomicU64,
+    reissued: AtomicU64,
+    completed: AtomicU64,
+    expired: AtomicU64,
+    fallbacks: AtomicU64,
+    rejected_not_leased: AtomicU64,
+    rejected_stale_epoch: AtomicU64,
+    rejected_duplicate: AtomicU64,
+    rejected_wrong_user: AtomicU64,
+    rejected_nan_similarity: AtomicU64,
+    rejected_out_of_range_similarity: AtomicU64,
+    rejected_unknown_neighbor: AtomicU64,
+}
+
+macro_rules! counter {
+    ($(#[$doc:meta])* $name:ident, $inc:ident) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(&self) -> u64 {
+            self.$name.load(Ordering::Relaxed)
+        }
+
+        pub(crate) fn $inc(&self) {
+            self.$name.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+}
+
+impl SchedStats {
+    counter!(
+        /// Leases issued (including re-issues).
+        issued,
+        inc_issued
+    );
+    counter!(
+        /// Expired jobs handed to another browser (escalation ladder).
+        reissued,
+        inc_reissued
+    );
+    counter!(
+        /// Completions validated and applied.
+        completed,
+        inc_completed
+    );
+    counter!(
+        /// Leases that outlived their deadline (abandoned browsers).
+        expired,
+        inc_expired
+    );
+    counter!(
+        /// Users surrendered to server-side fallback compute.
+        fallbacks,
+        inc_fallbacks
+    );
+    counter!(
+        /// Completions presenting no (or an unknown / expired) lease.
+        rejected_not_leased,
+        inc_rejected_not_leased
+    );
+    counter!(
+        /// Completions whose lease was superseded by a newer epoch.
+        rejected_stale_epoch,
+        inc_rejected_stale_epoch
+    );
+    counter!(
+        /// Completions for a lease that was already consumed.
+        rejected_duplicate,
+        inc_rejected_duplicate
+    );
+    counter!(
+        /// Completions whose uid does not match the leased user.
+        rejected_wrong_user,
+        inc_rejected_wrong_user
+    );
+    counter!(
+        /// Completions carrying a NaN similarity.
+        rejected_nan_similarity,
+        inc_rejected_nan_similarity
+    );
+    counter!(
+        /// Completions carrying a similarity outside `[0, 1]`.
+        rejected_out_of_range_similarity,
+        inc_rejected_out_of_range_similarity
+    );
+    counter!(
+        /// Completions naming a neighbour the server does not know.
+        rejected_unknown_neighbor,
+        inc_rejected_unknown_neighbor
+    );
+
+    /// Sum over every reject reason.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_not_leased()
+            + self.rejected_stale_epoch()
+            + self.rejected_duplicate()
+            + self.rejected_wrong_user()
+            + self.rejected_nan_similarity()
+            + self.rejected_out_of_range_similarity()
+            + self.rejected_unknown_neighbor()
+    }
+
+    pub(crate) fn inc_reject(&self, reason: RejectReason) {
+        match reason {
+            RejectReason::NotLeased => self.inc_rejected_not_leased(),
+            RejectReason::StaleEpoch => self.inc_rejected_stale_epoch(),
+            RejectReason::Duplicate => self.inc_rejected_duplicate(),
+            RejectReason::WrongUser => self.inc_rejected_wrong_user(),
+            RejectReason::NanSimilarity => self.inc_rejected_nan_similarity(),
+            RejectReason::OutOfRangeSimilarity => self.inc_rejected_out_of_range_similarity(),
+            RejectReason::UnknownNeighbor => self.inc_rejected_unknown_neighbor(),
+        }
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> SchedStatsSnapshot {
+        SchedStatsSnapshot {
+            issued: self.issued(),
+            reissued: self.reissued(),
+            completed: self.completed(),
+            expired: self.expired(),
+            fallbacks: self.fallbacks(),
+            rejected_not_leased: self.rejected_not_leased(),
+            rejected_stale_epoch: self.rejected_stale_epoch(),
+            rejected_duplicate: self.rejected_duplicate(),
+            rejected_wrong_user: self.rejected_wrong_user(),
+            rejected_nan_similarity: self.rejected_nan_similarity(),
+            rejected_out_of_range_similarity: self.rejected_out_of_range_similarity(),
+            rejected_unknown_neighbor: self.rejected_unknown_neighbor(),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`SchedStats`] (the `/stats/` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // field names mirror the documented SchedStats accessors
+pub struct SchedStatsSnapshot {
+    pub issued: u64,
+    pub reissued: u64,
+    pub completed: u64,
+    pub expired: u64,
+    pub fallbacks: u64,
+    pub rejected_not_leased: u64,
+    pub rejected_stale_epoch: u64,
+    pub rejected_duplicate: u64,
+    pub rejected_wrong_user: u64,
+    pub rejected_nan_similarity: u64,
+    pub rejected_out_of_range_similarity: u64,
+    pub rejected_unknown_neighbor: u64,
+}
+
+impl SchedStatsSnapshot {
+    /// Sum over every reject reason.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_not_leased
+            + self.rejected_stale_epoch
+            + self.rejected_duplicate
+            + self.rejected_wrong_user
+            + self.rejected_nan_similarity
+            + self.rejected_out_of_range_similarity
+            + self.rejected_unknown_neighbor
+    }
+
+    /// Serializes the snapshot as a compact JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"issued\":{},\"reissued\":{},\"completed\":{},\"expired\":{},\
+             \"fallbacks\":{},\"rejected\":{{\"not_leased\":{},\"stale_epoch\":{},\
+             \"duplicate\":{},\"wrong_user\":{},\"nan_similarity\":{},\
+             \"out_of_range_similarity\":{},\"unknown_neighbor\":{},\"total\":{}}}}}",
+            self.issued,
+            self.reissued,
+            self.completed,
+            self.expired,
+            self.fallbacks,
+            self.rejected_not_leased,
+            self.rejected_stale_epoch,
+            self.rejected_duplicate,
+            self.rejected_wrong_user,
+            self.rejected_nan_similarity,
+            self.rejected_out_of_range_similarity,
+            self.rejected_unknown_neighbor,
+            self.rejected_total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = SchedStats::default();
+        stats.inc_issued();
+        stats.inc_issued();
+        stats.inc_completed();
+        stats.inc_reject(RejectReason::StaleEpoch);
+        stats.inc_reject(RejectReason::NanSimilarity);
+        let snap = stats.snapshot();
+        assert_eq!(snap.issued, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.rejected_stale_epoch, 1);
+        assert_eq!(snap.rejected_nan_similarity, 1);
+        assert_eq!(snap.rejected_total(), 2);
+        assert_eq!(stats.rejected_total(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let stats = SchedStats::default();
+        stats.inc_issued();
+        stats.inc_reject(RejectReason::Duplicate);
+        let json = stats.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"issued\":1"));
+        assert!(json.contains("\"duplicate\":1"));
+        assert!(json.contains("\"total\":1"));
+    }
+}

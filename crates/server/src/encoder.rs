@@ -315,6 +315,14 @@ impl JobEncoder {
                 scratch.push_str(&job.k.to_string());
                 scratch.push_str(",\"r\":");
                 scratch.push_str(&job.r.to_string());
+                if job.lease != 0 || job.epoch != 0 {
+                    // Same conditional shape as `PersonalizationJob::to_json`:
+                    // unleased jobs keep the seed wire format byte-for-byte.
+                    scratch.push_str(",\"lease\":");
+                    scratch.push_str(&job.lease.to_string());
+                    scratch.push_str(",\"epoch\":");
+                    scratch.push_str(&job.epoch.to_string());
+                }
                 scratch.push_str(",\"profile\":");
                 profile_json(&mut scratch, &job.profile);
                 scratch.push_str(",\"candidates\":[null");
@@ -378,6 +386,8 @@ mod tests {
             uid: UserId(1),
             k: 2,
             r: 3,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked([1u32, 2]).into(),
             candidates,
         }
@@ -442,6 +452,26 @@ mod tests {
     }
 
     #[test]
+    fn leased_job_encodes_credentials() {
+        let mut leased = job();
+        leased.lease = 31;
+        leased.epoch = 4;
+        let encoder = JobEncoder::new();
+        let decoded = PersonalizationJob::decode(&encoder.encode(&leased)).unwrap();
+        assert_eq!(decoded, leased);
+        assert_eq!((decoded.lease, decoded.epoch), (31, 4));
+        // The raw JSON carries the fields in the canonical position.
+        let raw = hyrec_wire::gzip::decompress(&encoder.encode(&leased)).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains(",\"lease\":31,\"epoch\":4,\"profile\":"));
+        // The unleased twin's bytes are identical to the scalar wire shape
+        // (no lease keys at all) and still cache-share fragments.
+        let plain = encoder.encode(&job());
+        let text = String::from_utf8(hyrec_wire::gzip::decompress(&plain).unwrap()).unwrap();
+        assert!(!text.contains("lease"));
+    }
+
+    #[test]
     fn fingerprint_distinguishes_likes_from_dislikes() {
         let liked = Profile::from_liked([1u32, 2]);
         let disliked = Profile::from_votes(Vec::<u32>::new(), [1u32, 2]);
@@ -454,6 +484,8 @@ mod tests {
             uid: UserId(0),
             k: 1,
             r: 1,
+            lease: 0,
+            epoch: 0,
             profile: Profile::new().into(),
             candidates: CandidateSet::new(),
         };
@@ -480,6 +512,8 @@ mod tests {
                     uid: UserId(j),
                     k: 5,
                     r: 5,
+                    lease: 0,
+                    epoch: 0,
                     profile: Profile::from_liked([j, j + 1, j + 2]).into(),
                     candidates,
                 }
@@ -529,6 +563,8 @@ mod tests {
                 uid: UserId(0),
                 k: 3,
                 r: 3,
+                lease: 0,
+                epoch: 0,
                 profile: Profile::from_liked([1u32]).into(),
                 candidates,
             };
@@ -550,6 +586,8 @@ mod tests {
             uid: UserId(0),
             k: 2,
             r: 2,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked([1u32]).into(),
             candidates: {
                 let mut c = CandidateSet::new();
@@ -566,6 +604,8 @@ mod tests {
                 uid: UserId(2),
                 k: 2,
                 r: 2,
+                lease: 0,
+                epoch: 0,
                 profile: Profile::new().into(),
                 candidates,
             };
@@ -594,6 +634,8 @@ mod tests {
             uid: UserId(1),
             k: 10,
             r: 10,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked(0u32..50).into(),
             candidates,
         };

@@ -61,6 +61,7 @@ pub mod encoder;
 pub mod offline;
 pub mod online_ideal;
 pub mod sampler;
+pub mod scheduled;
 pub mod server;
 
 pub use config::{HyRecConfig, HyRecConfigBuilder};
@@ -69,4 +70,5 @@ pub use encoder::JobEncoder;
 pub use offline::{CRecBackend, ExhaustiveBackend, MahoutLikeBackend, OfflineBackend};
 pub use online_ideal::OnlineIdeal;
 pub use sampler::{DefaultSampler, NoRandomSampler, RandomOnlySampler, Sampler};
+pub use scheduled::{ScheduledServer, SweeperHandle};
 pub use server::HyRecServer;

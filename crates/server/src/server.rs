@@ -209,6 +209,8 @@ impl HyRecServer {
             uid: user,
             k: self.config.k,
             r: self.config.r,
+            lease: 0,
+            epoch: 0,
             profile,
             candidates,
         }
@@ -313,6 +315,8 @@ impl HyRecServer {
                 uid: user,
                 k: self.config.k,
                 r: self.config.r,
+                lease: 0,
+                epoch: 0,
                 profile: Self::capped(profile.unwrap_or_default(), self.config.profile_cap),
                 candidates,
             })
@@ -371,6 +375,35 @@ impl HyRecServer {
                 .collect()
         };
         self.knn.update_many(entries);
+    }
+
+    /// Whether a neighbour id reported in a `KnnUpdate` is resolvable by
+    /// this server: under pseudonymization the id must resolve through a
+    /// live anonymization epoch; otherwise the user must own a profile.
+    ///
+    /// This is the `known` predicate the job-lifecycle scheduler's update
+    /// validation uses to reject fabricated neighbour ids before they
+    /// reach the KNN table.
+    #[must_use]
+    pub fn neighbor_known(&self, user: UserId) -> bool {
+        self.with_neighbor_checker(|known| known(user))
+    }
+
+    /// Runs `f` with a neighbour-resolvability predicate, taking the
+    /// anonymizer lock **once** for the whole closure — the batched form
+    /// of [`Self::neighbor_known`] for validating bursts of completions.
+    pub fn with_neighbor_checker<R>(
+        &self,
+        f: impl FnOnce(&mut dyn FnMut(UserId) -> bool) -> R,
+    ) -> R {
+        if self.config.anonymize_users {
+            let anonymizer = self.anonymizer.lock();
+            let mut known = |user: UserId| anonymizer.resolve(user).is_some();
+            f(&mut known)
+        } else {
+            let mut known = |user: UserId| self.profiles.contains(user);
+            f(&mut known)
+        }
     }
 
     /// Rotates the anonymization epoch ("periodically, the identifiers …

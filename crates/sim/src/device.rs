@@ -28,6 +28,11 @@ pub struct Device {
     pub name: &'static str,
     /// Wall-time multiplier relative to the benchmark machine.
     pub speed_factor: f64,
+    /// Relative propensity to abandon an in-flight personalization job
+    /// (navigate away mid-computation). Laptops sit below the population
+    /// mean, phones above it — mobile sessions are shorter and a 6.5×
+    /// slower kernel spends far longer inside the abandonment window.
+    pub churn_factor: f64,
 }
 
 impl Device {
@@ -36,6 +41,7 @@ impl Device {
     pub const LAPTOP: Device = Device {
         name: "laptop",
         speed_factor: 1.0,
+        churn_factor: 0.6,
     };
 
     /// The paper's Wiko Cink King smartphone: roughly 6–7× slower than the
@@ -44,7 +50,16 @@ impl Device {
     pub const SMARTPHONE: Device = Device {
         name: "smartphone",
         speed_factor: 6.5,
+        churn_factor: 1.4,
     };
+
+    /// This device's probability of abandoning a job, given the
+    /// population-wide base rate (an even laptop/smartphone split averages
+    /// back to `base`). Drives the churn replay in [`crate::churn`].
+    #[must_use]
+    pub fn abandon_probability(&self, base: f64) -> f64 {
+        (base * self.churn_factor).clamp(0.0, 1.0)
+    }
 }
 
 /// Fair-share CPU model: `n` compute-bound tasks on one core each progress
@@ -117,6 +132,8 @@ pub fn synthetic_job(profile_size: usize, k: usize, candidates: usize) -> Person
         uid: UserId(0),
         k,
         r: 10,
+        lease: 0,
+        epoch: 0,
         profile: profile_of(0).into(),
         candidates: set,
     }
@@ -192,6 +209,19 @@ mod tests {
             large > small,
             "larger profiles must cost more: {small:?} vs {large:?}"
         );
+    }
+
+    #[test]
+    fn abandon_probability_scales_by_device_and_clamps() {
+        assert!((Device::LAPTOP.abandon_probability(0.3) - 0.18).abs() < 1e-12);
+        assert!((Device::SMARTPHONE.abandon_probability(0.3) - 0.42).abs() < 1e-12);
+        // An even split averages to the base rate.
+        let mean = (Device::LAPTOP.abandon_probability(0.3)
+            + Device::SMARTPHONE.abandon_probability(0.3))
+            / 2.0;
+        assert!((mean - 0.3).abs() < 1e-12);
+        assert_eq!(Device::SMARTPHONE.abandon_probability(0.9), 1.0);
+        assert_eq!(Device::LAPTOP.abandon_probability(0.0), 0.0);
     }
 
     #[test]

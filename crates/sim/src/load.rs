@@ -15,7 +15,11 @@
 
 use hyrec_core::{recommend, ItemId, Neighbor, Neighborhood, UserId, Vote};
 use hyrec_http::{api, BatchPolicy, HttpClient, HttpServer, ReactorServer, Response, Router};
-use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder, OnlineIdeal};
+use hyrec_sched::SchedConfig;
+use hyrec_server::{
+    HyRecConfig, HyRecServer, JobEncoder, OnlineIdeal, ScheduledServer, SweeperHandle,
+};
+use hyrec_wire::{KnnUpdate, PersonalizationJob};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -438,6 +442,173 @@ pub fn spawn_sharded_reactor_server(
     (handle, addr)
 }
 
+/// Spins up the reactor front-end over the *scheduled* router: jobs are
+/// leased, completions validated, `/stats/` live, and a wall-clock sweeper
+/// chases abandoned leases. The sweeper handle must outlive the run.
+#[must_use]
+pub fn spawn_scheduled_reactor_server(
+    population: &Population,
+    workers: usize,
+    policy: BatchPolicy,
+    sched_config: SchedConfig,
+) -> (
+    hyrec_http::reactor::ReactorHandle,
+    std::net::SocketAddr,
+    Arc<ScheduledServer>,
+    SweeperHandle,
+) {
+    let scheduled = Arc::new(ScheduledServer::new(
+        Arc::clone(&population.server),
+        sched_config,
+    ));
+    let server = ReactorServer::bind("127.0.0.1:0", workers).expect("bind scheduled reactor");
+    let addr = server.local_addr();
+    let stats = server.stats_handle();
+    let handle = server.serve(api::hyrec_scheduled_router(
+        Arc::clone(&scheduled),
+        Arc::clone(&population.encoder),
+        policy,
+        Some(stats),
+    ));
+    let sweeper = scheduled.spawn_sweeper(Duration::from_millis(20));
+    (handle, addr, scheduled, sweeper)
+}
+
+/// Outcome of a churn-mode closed loop ([`measure_churn_loop`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnLoad {
+    /// `/online/` fetches answered 200.
+    pub fetched: usize,
+    /// Completions answered 200 (applied).
+    pub completed: usize,
+    /// Completions answered 409 (lease superseded/duplicate — expected
+    /// under churn and concurrency, not an error).
+    pub superseded: usize,
+    /// Jobs deliberately abandoned by the simulated browsers.
+    pub abandoned: usize,
+    /// Hard failures: transport errors or unexpected statuses.
+    pub errors: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// `/online/` fetches served per second (every interaction starts
+    /// with exactly one fetch, so this is the interaction rate regardless
+    /// of the abandon split).
+    pub rps: f64,
+}
+
+/// Closed-loop churn driver: `clients` keep-alive connections each run
+/// `per_client` browser interactions — fetch a job from `/online/`, then
+/// with probability `abandon` vanish, otherwise post a completion echoing
+/// the job's lease to `/neighbors/`. Works against both the scheduled
+/// router (leases enforced) and the plain router (lease fields ignored),
+/// so the two series measure the scheduler's overhead like-for-like.
+///
+/// # Panics
+///
+/// Panics if a client thread panics.
+#[must_use]
+pub fn measure_churn_loop(
+    addr: std::net::SocketAddr,
+    users: usize,
+    clients: usize,
+    per_client: usize,
+    abandon: f64,
+    seed: u64,
+) -> ChurnLoad {
+    let barrier = Arc::new(std::sync::Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let client = HttpClient::new(addr).with_timeout(Duration::from_secs(60));
+            let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
+            let mut out = (0usize, 0usize, 0usize, 0usize, 0usize);
+            barrier.wait();
+            let start = Instant::now();
+            for _ in 0..per_client {
+                let uid = rng.gen_range(0..users);
+                let job = match client.get(&format!("/online/?uid={uid}")) {
+                    // A 200 whose body does not decode to a job is a hard
+                    // error — a silent `None` here would let an encoder
+                    // regression sail through the CI churn smoke.
+                    Ok(response) if response.status == 200 => {
+                        match PersonalizationJob::decode(&response.body) {
+                            Ok(job) => {
+                                out.0 += 1;
+                                Some(job)
+                            }
+                            Err(_) => {
+                                out.4 += 1;
+                                None
+                            }
+                        }
+                    }
+                    _ => {
+                        out.4 += 1;
+                        None
+                    }
+                };
+                let Some(job) = job else { continue };
+                if rng.gen_bool(abandon) {
+                    out.3 += 1; // browser navigates away
+                    continue;
+                }
+                // Synthetic completion: echo the lease, report the first k
+                // candidates (cheap stand-in for the widget kernel, which
+                // is not what this loop measures).
+                let update = KnnUpdate {
+                    uid: job.uid,
+                    lease: job.lease,
+                    epoch: job.epoch,
+                    neighbors: job
+                        .candidates
+                        .iter()
+                        .take(job.k)
+                        .map(|cand| Neighbor {
+                            user: cand.user,
+                            similarity: 0.5,
+                        })
+                        .collect(),
+                };
+                match client.post("/neighbors/", &update.encode()) {
+                    Ok(response) if response.status == 200 => out.1 += 1,
+                    Ok(response) if response.status == 409 => out.2 += 1,
+                    _ => out.4 += 1,
+                }
+            }
+            (out, start, Instant::now())
+        }));
+    }
+    barrier.wait();
+    let mut totals = (0usize, 0usize, 0usize, 0usize, 0usize);
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for handle in handles {
+        let ((fetched, completed, superseded, abandoned, errors), start, end) =
+            handle.join().expect("churn client thread panicked");
+        totals.0 += fetched;
+        totals.1 += completed;
+        totals.2 += superseded;
+        totals.3 += abandoned;
+        totals.4 += errors;
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |s| s.max(end)));
+    }
+    let elapsed = match (first_start, last_end) {
+        (Some(start), Some(end)) => end.duration_since(start),
+        _ => Duration::ZERO,
+    };
+    ChurnLoad {
+        fetched: totals.0,
+        completed: totals.1,
+        superseded: totals.2,
+        abandoned: totals.3,
+        errors: totals.4,
+        elapsed,
+        rps: totals.0 as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
 /// Connection behaviour of the closed-loop load clients.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadOptions {
@@ -754,6 +925,43 @@ mod tests {
         // fewer than the 24 the close-per-request mode would open.
         assert_eq!(handle.stats().connections(), 8);
         assert_eq!(handle.request_count(), 24);
+        handle.stop();
+    }
+
+    #[test]
+    fn churn_loop_drives_scheduled_and_plain_routers() {
+        let population = build_population(40, 10, 3, 6);
+        // Scheduled: leases enforced, abandonment recovered by the sweeper.
+        let (handle, addr, scheduled, sweeper) = spawn_scheduled_reactor_server(
+            &population,
+            2,
+            BatchPolicy::default(),
+            SchedConfig {
+                lease_timeout: 50,
+                max_reissues: 1,
+                ..SchedConfig::default()
+            },
+        );
+        let churn = measure_churn_loop(addr, 40, 4, 6, 0.5, 11);
+        assert_eq!(churn.fetched, 24);
+        assert_eq!(churn.errors, 0, "{churn:?}");
+        assert!(churn.abandoned > 0, "{churn:?}");
+        assert_eq!(
+            churn.completed + churn.superseded + churn.abandoned,
+            24,
+            "{churn:?}"
+        );
+        assert!(scheduled.scheduler().stats().issued() >= 24);
+        sweeper.stop();
+        handle.stop();
+
+        // The same loop against the plain router: lease fields are zero
+        // and every posted completion lands (no 409s possible).
+        let (handle, addr) = spawn_reactor_server(&population, 2, BatchPolicy::default());
+        let plain = measure_churn_loop(addr, 40, 4, 6, 0.25, 12);
+        assert_eq!(plain.fetched, 24);
+        assert_eq!(plain.errors, 0, "{plain:?}");
+        assert_eq!(plain.superseded, 0, "{plain:?}");
         handle.stop();
     }
 

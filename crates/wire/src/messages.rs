@@ -32,6 +32,13 @@ pub struct PersonalizationJob {
     pub k: usize,
     /// Number of items to recommend (system parameter `r`).
     pub r: usize,
+    /// Job lease id issued by the scheduler (`0` = unleased; the field is
+    /// then omitted from the wire shape, keeping the seed format intact).
+    /// The widget must echo it in its [`KnnUpdate`].
+    pub lease: u64,
+    /// The leased user's refresh epoch; echoed with the lease so the
+    /// server can recognize completions of superseded jobs.
+    pub epoch: u64,
     /// The requesting user's own profile `P_u`.
     pub profile: Arc<Profile>,
     /// The candidate set `S_u` with full candidate profiles.
@@ -51,24 +58,29 @@ impl PersonalizationJob {
                 ),
             ])
         };
-        object([
+        let mut fields = vec![
             ("uid", JsonValue::from(self.uid.raw())),
             ("k", JsonValue::from(self.k)),
             ("r", JsonValue::from(self.r)),
-            ("profile", profile_json(&self.profile)),
-            (
-                "candidates",
-                self.candidates
-                    .iter()
-                    .map(|c| {
-                        object([
-                            ("uid", JsonValue::from(c.user.raw())),
-                            ("profile", profile_json(&c.profile)),
-                        ])
-                    })
-                    .collect::<JsonValue>(),
-            ),
-        ])
+        ];
+        if self.lease != 0 || self.epoch != 0 {
+            fields.push(("lease", JsonValue::from(self.lease)));
+            fields.push(("epoch", JsonValue::from(self.epoch)));
+        }
+        fields.push(("profile", profile_json(&self.profile)));
+        fields.push((
+            "candidates",
+            self.candidates
+                .iter()
+                .map(|c| {
+                    object([
+                        ("uid", JsonValue::from(c.user.raw())),
+                        ("profile", profile_json(&c.profile)),
+                    ])
+                })
+                .collect::<JsonValue>(),
+        ));
+        object(fields)
     }
 
     /// Parses a job from its JSON wire shape.
@@ -81,6 +93,8 @@ impl PersonalizationJob {
         let uid = field_u32(value, "uid")?;
         let k = field_u32(value, "k")? as usize;
         let r = field_u32(value, "r")? as usize;
+        let lease = optional_u64(value, "lease")?;
+        let epoch = optional_u64(value, "epoch")?;
         let profile = parse_profile(
             value
                 .get("profile")
@@ -109,6 +123,8 @@ impl PersonalizationJob {
             uid: UserId(uid),
             k,
             r,
+            lease,
+            epoch,
             profile: Arc::new(profile),
             candidates,
         })
@@ -150,6 +166,11 @@ impl PersonalizationJob {
 pub struct KnnUpdate {
     /// Pseudonymous id of the reporting user.
     pub uid: UserId,
+    /// The job lease this completion answers (`0` = unleased/legacy; the
+    /// field is then omitted from the wire shape).
+    pub lease: u64,
+    /// The refresh epoch echoed from the job.
+    pub epoch: u64,
     /// The new neighbourhood, ranked by descending similarity.
     pub neighbors: Vec<Neighbor>,
 }
@@ -160,8 +181,18 @@ impl KnnUpdate {
     pub fn from_neighborhood(uid: UserId, hood: &Neighborhood) -> Self {
         Self {
             uid,
+            lease: 0,
+            epoch: 0,
             neighbors: hood.iter().copied().collect(),
         }
+    }
+
+    /// Stamps the lease credentials a widget must echo from its job.
+    #[must_use]
+    pub fn with_lease(mut self, lease: u64, epoch: u64) -> Self {
+        self.lease = lease;
+        self.epoch = epoch;
+        self
     }
 
     /// Converts back into a [`Neighborhood`].
@@ -173,21 +204,24 @@ impl KnnUpdate {
     /// Serializes to the compact JSON wire shape.
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        object([
-            ("uid", JsonValue::from(self.uid.raw())),
-            (
-                "neighbors",
-                self.neighbors
-                    .iter()
-                    .map(|n| {
-                        object([
-                            ("uid", JsonValue::from(n.user.raw())),
-                            ("sim", JsonValue::from(quantize(n.similarity))),
-                        ])
-                    })
-                    .collect::<JsonValue>(),
-            ),
-        ])
+        let mut fields = vec![("uid", JsonValue::from(self.uid.raw()))];
+        if self.lease != 0 || self.epoch != 0 {
+            fields.push(("lease", JsonValue::from(self.lease)));
+            fields.push(("epoch", JsonValue::from(self.epoch)));
+        }
+        fields.push((
+            "neighbors",
+            self.neighbors
+                .iter()
+                .map(|n| {
+                    object([
+                        ("uid", JsonValue::from(n.user.raw())),
+                        ("sim", JsonValue::from(quantize(n.similarity))),
+                    ])
+                })
+                .collect::<JsonValue>(),
+        ));
+        object(fields)
     }
 
     /// Parses an update from its JSON wire shape.
@@ -197,6 +231,8 @@ impl KnnUpdate {
     /// Returns [`WireError::Schema`] on missing or mistyped fields.
     pub fn from_json(value: &JsonValue) -> Result<Self, WireError> {
         let uid = field_u32(value, "uid")?;
+        let lease = optional_u64(value, "lease")?;
+        let epoch = optional_u64(value, "epoch")?;
         let list = value
             .get("neighbors")
             .and_then(JsonValue::as_array)
@@ -215,6 +251,8 @@ impl KnnUpdate {
         }
         Ok(Self {
             uid: UserId(uid),
+            lease,
+            epoch,
             neighbors,
         })
     }
@@ -248,6 +286,17 @@ impl KnnUpdate {
 /// platform-independent (f64 formatting differences never leak into bytes).
 fn quantize(sim: f64) -> f64 {
     (sim * 1e6).round() / 1e6
+}
+
+/// Optional non-negative integer field: absent ⇒ `0`, present-but-mistyped
+/// ⇒ schema error (a lease must never be silently dropped).
+fn optional_u64(value: &JsonValue, key: &str) -> Result<u64, WireError> {
+    match value.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| WireError::Schema(format!("invalid `{key}`"))),
+    }
 }
 
 fn field_u32(value: &JsonValue, key: &str) -> Result<u32, WireError> {
@@ -288,6 +337,8 @@ mod tests {
             uid: UserId(1),
             k: 10,
             r: 5,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked([1u32, 9]).into(),
             candidates,
         }
@@ -320,6 +371,8 @@ mod tests {
             uid: UserId(1),
             k: 10,
             r: 10,
+            lease: 0,
+            epoch: 0,
             profile: Profile::from_liked(0u32..100).into(),
             candidates,
         };
@@ -332,6 +385,8 @@ mod tests {
     fn update_round_trips() {
         let update = KnnUpdate {
             uid: UserId(3),
+            lease: 0,
+            epoch: 0,
             neighbors: vec![
                 Neighbor {
                     user: UserId(8),
@@ -352,6 +407,8 @@ mod tests {
     fn update_similarity_is_quantized() {
         let update = KnnUpdate {
             uid: UserId(1),
+            lease: 0,
+            epoch: 0,
             neighbors: vec![Neighbor {
                 user: UserId(2),
                 similarity: 1.0 / 3.0,
@@ -359,6 +416,53 @@ mod tests {
         };
         let back = KnnUpdate::from_json(&update.to_json()).unwrap();
         assert!((back.neighbors[0].similarity - 0.333_333).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leased_job_round_trips_and_unleased_wire_shape_is_unchanged() {
+        // Unleased jobs must keep the seed wire shape (no lease/epoch
+        // keys), so pre-scheduler clients and byte-identity fixtures hold.
+        let unleased = sample_job();
+        let text = unleased.to_json().to_string();
+        assert!(!text.contains("lease"), "unleased job leaked lease field");
+        assert!(!text.contains("epoch"), "unleased job leaked epoch field");
+
+        let mut leased = sample_job();
+        leased.lease = 42;
+        leased.epoch = 7;
+        let text = leased.to_json().to_string();
+        assert!(text.contains("\"lease\":42"));
+        assert!(text.contains("\"epoch\":7"));
+        let back = PersonalizationJob::decode(&leased.encode()).unwrap();
+        assert_eq!(back, leased);
+    }
+
+    #[test]
+    fn leased_update_round_trips_and_rejects_mistyped_lease() {
+        let update = KnnUpdate {
+            uid: UserId(3),
+            lease: 9,
+            epoch: 2,
+            neighbors: vec![Neighbor {
+                user: UserId(8),
+                similarity: 0.75,
+            }],
+        };
+        let text = update.to_json().to_string();
+        assert!(text.contains("\"lease\":9"));
+        let back = KnnUpdate::decode(&update.encode()).unwrap();
+        assert_eq!(back, update);
+
+        // An unleased update stays on the seed shape.
+        let plain = KnnUpdate::from_neighborhood(UserId(1), &update.to_neighborhood());
+        assert!(!plain.to_json().to_string().contains("lease"));
+        // with_lease stamps credentials.
+        let stamped = plain.clone().with_lease(5, 1);
+        assert_eq!((stamped.lease, stamped.epoch), (5, 1));
+
+        // A mistyped lease is a schema error, never silently dropped.
+        let bad = JsonValue::parse(r#"{"uid":1,"lease":"x","neighbors":[]}"#).unwrap();
+        assert!(KnnUpdate::from_json(&bad).is_err());
     }
 
     #[test]
@@ -410,7 +514,15 @@ mod tests {
                     .into_iter()
                     .map(|(u, p)| (UserId(u), p))
                     .collect();
-                let job = PersonalizationJob { uid: UserId(uid), k, r, profile: profile.into(), candidates };
+                let job = PersonalizationJob {
+                    uid: UserId(uid),
+                    k,
+                    r,
+                    lease: 0,
+                    epoch: 0,
+                    profile: profile.into(),
+                    candidates,
+                };
                 let back = PersonalizationJob::decode(&job.encode()).unwrap();
                 prop_assert_eq!(back, job);
             }

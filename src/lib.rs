@@ -19,8 +19,9 @@
 //! | [`server`] | `hyrec-server` | sampler, orchestrator, baselines |
 //! | [`gossip`] | `hyrec-gossip` | the fully decentralized (P2P) baseline |
 //! | [`datasets`] | `hyrec-datasets` | Table 2-calibrated trace generators |
-//! | [`sim`] | `hyrec-sim` | replay, quality, cost, device, load harnesses |
+//! | [`sim`] | `hyrec-sim` | replay, quality, cost, device, load, churn harnesses |
 //! | [`http`] | `hyrec-http` | HTTP/1.1 stack + the Table 1 web API |
+//! | [`sched`] | `hyrec-sched` | job-lifecycle scheduler: leases, churn recovery, staleness |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use hyrec_core as core;
 pub use hyrec_datasets as datasets;
 pub use hyrec_gossip as gossip;
 pub use hyrec_http as http;
+pub use hyrec_sched as sched;
 pub use hyrec_server as server;
 pub use hyrec_sim as sim;
 pub use hyrec_wire as wire;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use hyrec_client::{Widget, WidgetOutput};
     pub use hyrec_core::prelude::*;
     pub use hyrec_datasets::{DatasetSpec, TraceGenerator};
-    pub use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder};
+    pub use hyrec_sched::{SchedConfig, Scheduler};
+    pub use hyrec_server::{HyRecConfig, HyRecServer, JobEncoder, ScheduledServer};
     pub use hyrec_wire::{KnnUpdate, PersonalizationJob};
 }

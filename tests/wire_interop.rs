@@ -136,6 +136,8 @@ fn hostile_ids_survive_the_full_pipeline() {
         uid: UserId(u32::MAX - 7),
         k: 2,
         r: 3,
+        lease: 0,
+        epoch: 0,
         profile: Profile::from_liked([42u32]).into(),
         candidates,
     };
